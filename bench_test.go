@@ -1,0 +1,235 @@
+package cloudburst
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, via the internal experiment drivers), plus
+// microbenchmarks of the core machinery and ablation benches for the
+// design choices called out in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches report the wall cost of regenerating the artifact;
+// their outputs are printed once under -v via the experiments binary.
+
+import (
+	"testing"
+
+	"cloudburst/internal/experiments"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/qrsm"
+	"cloudburst/internal/sim"
+	"cloudburst/internal/stats"
+	"cloudburst/internal/workload"
+)
+
+// benchSeed keeps benchmark inputs fixed across iterations.
+const benchSeed = 1
+
+func benchTable(b *testing.B, f func(int64) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := f(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- One benchmark per paper artifact ---
+
+func BenchmarkFigure3QRSM(b *testing.B)       { benchTable(b, experiments.Figure3QRSM) }
+func BenchmarkFigure4aTimeOfDay(b *testing.B) { benchTable(b, experiments.Figure4aTimeOfDay) }
+func BenchmarkFigure4bThreads(b *testing.B)   { benchTable(b, experiments.Figure4bThreads) }
+func BenchmarkFigure6Makespan(b *testing.B)   { benchTable(b, experiments.Figure6Makespan) }
+func BenchmarkFigure7Completions(b *testing.B) {
+	benchTable(b, experiments.Figure7Completions)
+}
+func BenchmarkFigure8LargeCompletions(b *testing.B) {
+	benchTable(b, experiments.Figure8LargeCompletions)
+}
+func BenchmarkFigure9OOMetric(b *testing.B)    { benchTable(b, experiments.Figure9OOMetric) }
+func BenchmarkFigure10RelativeOO(b *testing.B) { benchTable(b, experiments.Figure10RelativeOO) }
+
+func BenchmarkTable1Metrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts, err := experiments.Table1Metrics(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts) != 2 {
+			b.Fatal("want two Table I buckets")
+		}
+	}
+}
+
+func BenchmarkSIBSOptimization(b *testing.B) { benchTable(b, experiments.SIBSOptimization) }
+
+// --- Ablation benches (design choices from DESIGN.md §5) ---
+
+func BenchmarkAblationChunking(b *testing.B)    { benchTable(b, experiments.AblationChunking) }
+func BenchmarkAblationSlackMargin(b *testing.B) { benchTable(b, experiments.AblationSlackMargin) }
+func BenchmarkAblationGreedyTracking(b *testing.B) {
+	benchTable(b, experiments.AblationGreedyTracking)
+}
+func BenchmarkAblationRescheduling(b *testing.B) {
+	benchTable(b, experiments.AblationRescheduling)
+}
+func BenchmarkAblationQRSMNoise(b *testing.B) { benchTable(b, experiments.AblationQRSMNoise) }
+func BenchmarkAblationEWMAAlpha(b *testing.B) { benchTable(b, experiments.AblationEWMAAlpha) }
+func BenchmarkAblationSIBSGate(b *testing.B)  { benchTable(b, experiments.AblationSIBSGate) }
+
+// --- End-to-end run benches per scheduler ---
+
+func benchRun(b *testing.B, s SchedulerName, bucket BucketName) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(Options{
+			Scheduler:    s,
+			Bucket:       bucket,
+			WorkloadSeed: benchSeed,
+			NetSeed:      benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Jobs == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+func BenchmarkRunICOnly(b *testing.B)  { benchRun(b, ICOnly, Uniform) }
+func BenchmarkRunGreedy(b *testing.B)  { benchRun(b, Greedy, Uniform) }
+func BenchmarkRunOp(b *testing.B)      { benchRun(b, OrderPreserving, Uniform) }
+func BenchmarkRunSIBS(b *testing.B)    { benchRun(b, SIBS, Uniform) }
+func BenchmarkRunOpLarge(b *testing.B) { benchRun(b, OrderPreserving, Large) }
+
+// --- Core machinery microbenches ---
+
+func BenchmarkSimEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count < 10000 {
+				eng.ScheduleAfter(1, tick)
+			}
+		}
+		eng.ScheduleAfter(1, tick)
+		eng.Run()
+	}
+}
+
+func BenchmarkQRSMFit(b *testing.B) {
+	fs, ys := workload.BootstrapSet(benchSeed, 300, 0.12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := qrsm.NewEstimator()
+		est.Bootstrap(fs, ys)
+		if !est.GlobalModel().Fitted() {
+			b.Fatal("fit failed")
+		}
+	}
+}
+
+func BenchmarkQRSMPredict(b *testing.B) {
+	fs, ys := workload.BootstrapSet(benchSeed, 300, 0.12)
+	est := qrsm.NewEstimator()
+	est.Bootstrap(fs, ys)
+	f := fs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if est.Estimate(f) <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+func BenchmarkLinkTransfers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		link := netsim.NewLink(eng, netsim.LinkConfig{
+			Profile:  netsim.DiurnalProfile(600*1024, 0.3),
+			JitterCV: 0.15,
+		}, stats.NewRNG(benchSeed))
+		done := 0
+		for k := 0; k < 200; k++ {
+			link.Start("t", 1<<20, 8, func(float64, *netsim.Transfer) { done++ })
+		}
+		eng.RunUntil(1e6)
+		if done != 200 {
+			b.Fatalf("done = %d", done)
+		}
+	}
+}
+
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	g := workload.MustNewGenerator(workload.Config{Seed: benchSeed})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workload.TotalJobs(g.Generate()) == 0 {
+			b.Fatal("empty workload")
+		}
+	}
+}
+
+func BenchmarkOOMetric(b *testing.B) {
+	r, err := Run(Options{Scheduler: Greedy, WorkloadSeed: benchSeed, NetSeed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.OOSeries()) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// --- Extension benches (the paper's future-work directions) ---
+
+func BenchmarkExtensionAutoscale(b *testing.B) { benchTable(b, experiments.ExtensionAutoscale) }
+func BenchmarkExtensionTickets(b *testing.B)   { benchTable(b, experiments.ExtensionTickets) }
+func BenchmarkExtensionMultiEC(b *testing.B)   { benchTable(b, experiments.ExtensionMultiEC) }
+func BenchmarkAblationOutages(b *testing.B)    { benchTable(b, experiments.AblationOutages) }
+
+func BenchmarkRunMultiEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Run(Options{
+			Scheduler:    OrderPreserving,
+			WorkloadSeed: benchSeed,
+			NetSeed:      benchSeed,
+			ExtraECSites: []ECSiteSpec{{Machines: 2}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Jobs == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+func BenchmarkRunAutoscaled(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Run(Options{
+			Scheduler:      OrderPreserving,
+			WorkloadSeed:   benchSeed,
+			NetSeed:        benchSeed,
+			ECMachines:     1,
+			AutoscaleECMax: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ECMachineSeconds <= 0 {
+			b.Fatal("no rental accounting")
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package cloudburst is an autonomic cloud-bursting scheduler library and
+// simulator, reproducing "Optimizing Service Level Agreements for Autonomic
+// Cloud Bursting Schedulers" (Kailasam, Gnanasambandam, Dharanipragada,
+// Sharma — ICPP 2010).
+//
+// The library simulates a production document-processing facility whose
+// internal cloud (IC) bursts overflow work to a small external cloud (EC)
+// over a thin, time-varying Internet pipe, using learned models — a
+// quadratic response surface for processing time and a time-of-day
+// bandwidth predictor — to honor queue-level service agreements: slackness
+// constraints, out-of-order tolerances, makespan, utilization, speedup and
+// burst ratio.
+//
+// Quick start:
+//
+//	report, err := cloudburst.Run(cloudburst.Options{
+//		Scheduler: cloudburst.OrderPreserving,
+//		Bucket:    cloudburst.Uniform,
+//	})
+//	fmt.Println(report)
+//
+// The full experiment harness behind the paper's figures and tables lives
+// in internal/experiments and is exposed through cmd/experiments; the
+// benchmarks in bench_test.go regenerate every figure and table.
+package cloudburst
+
+import (
+	"fmt"
+
+	"cloudburst/internal/engine"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/sched"
+	"cloudburst/internal/workload"
+)
+
+// SchedulerName selects one of the paper's schedulers.
+type SchedulerName string
+
+// The available schedulers.
+const (
+	// ICOnly runs everything on the internal cloud (baseline).
+	ICOnly SchedulerName = "ICOnly"
+	// Greedy is Algorithm 1: earliest-estimated-finish placement.
+	Greedy SchedulerName = "Greedy"
+	// GreedyTracking is Greedy with within-batch load bookkeeping (an
+	// ablation variant, not in the paper).
+	GreedyTracking SchedulerName = "GreedyTracking"
+	// OrderPreserving is Algorithm 2: slack-gated bursting with chunking.
+	OrderPreserving SchedulerName = "Op"
+	// SIBS is Algorithm 3: OrderPreserving plus size-interval bandwidth
+	// splitting across small/medium/large upload queues.
+	SIBS SchedulerName = "SIBS"
+)
+
+// Schedulers lists every selectable scheduler name.
+func Schedulers() []SchedulerName {
+	return []SchedulerName{ICOnly, Greedy, GreedyTracking, OrderPreserving, SIBS}
+}
+
+// BucketName selects the job-size distribution of the synthetic production
+// workload.
+type BucketName string
+
+// The paper's three workload buckets.
+const (
+	// Small biases job sizes toward the bottom of the 1–300 MB range.
+	Small BucketName = "small"
+	// Uniform draws sizes uniformly over the range.
+	Uniform BucketName = "uniform"
+	// Large biases sizes toward the top of the range.
+	Large BucketName = "large"
+)
+
+// Buckets lists the bucket names in paper order.
+func Buckets() []BucketName { return []BucketName{Small, Uniform, Large} }
+
+// Options configures a simulated run. The zero value (plus a scheduler)
+// reproduces the paper's test bed: 8 IC VMs, 2 EC VMs, batches of ~15 jobs
+// every 3 minutes, a diurnal ~600 kB/s upload pipe with jitter, periodic
+// 1 MB bandwidth probes, and a bootstrapped QRSM processing-time model.
+type Options struct {
+	Scheduler SchedulerName // default OrderPreserving
+	Bucket    BucketName    // default Uniform
+
+	// Workload shape.
+	Batches          int     // default 6
+	MeanJobsPerBatch float64 // default 15 (Poisson λ)
+	BatchIntervalSec float64 // default 180
+	WorkloadSeed     int64
+
+	// Cluster sizes.
+	ICMachines int // default 8
+	ECMachines int // default 2
+
+	// Network.
+	UploadMeanBW     float64 // bytes/sec, default 600 kB/s
+	DownloadMeanBW   float64 // bytes/sec, default 900 kB/s
+	DiurnalAmplitude float64 // default 0.3
+	JitterCV         float64 // default 0.15; ~0.5 models high variation
+	NetSeed          int64
+	// Outage injection: when OutageMTBF > 0, both links suffer episodes
+	// that multiply capacity by OutageThrottle (0 = hard outage) for
+	// OutageMeanDuration seconds on average, starting at exponential
+	// intervals with the given mean.
+	OutageMTBF         float64
+	OutageMeanDuration float64 // default 60 when MTBF is set
+	OutageThrottle     float64 // default 0 (hard outage)
+
+	// Scheduler behaviour.
+	SlackMarginSec float64 // τ safety margin for the slack rule
+	Rescheduling   bool    // enable the Sec. IV-D strategies
+
+	// Elastic external cloud (the paper's future-work scaling policy):
+	// when AutoscaleECMax > 0, the EC fleet starts at ECMachines (or 1)
+	// and boots/drains machines between 1 and AutoscaleECMax based on
+	// committed demand. Rental time is reported on the Report.
+	AutoscaleECMax      int
+	AutoscaleBootDelay  float64 // default 120 s
+	AutoscaleTargetWait float64 // default 300 s
+
+	// ExtraECSites adds external-cloud providers beyond the primary EC
+	// (the multi-provider "where" dimension from the paper's introduction).
+	// Schedulers burst each job to the provider with the earliest
+	// estimated completion.
+	ExtraECSites []ECSiteSpec
+
+	// Reporting.
+	OOToleranceJobs  int     // tolerance t_l for the OO metric (default 0)
+	OOSampleInterval float64 // seconds between OO samples (default 120)
+}
+
+// ECSiteSpec describes one additional external-cloud provider.
+type ECSiteSpec struct {
+	Machines       int     // default 2
+	UploadMeanBW   float64 // bytes/sec, default 600 kB/s
+	DownloadMeanBW float64 // bytes/sec, default 900 kB/s
+	JitterCV       float64 // default: the run's JitterCV
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scheduler == "" {
+		o.Scheduler = OrderPreserving
+	}
+	if o.Bucket == "" {
+		o.Bucket = Uniform
+	}
+	if o.OOSampleInterval == 0 {
+		o.OOSampleInterval = 120
+	}
+	return o
+}
+
+func (o Options) bucket() (workload.Bucket, error) {
+	switch o.Bucket {
+	case Small:
+		return workload.SmallBias, nil
+	case Uniform:
+		return workload.UniformMix, nil
+	case Large:
+		return workload.LargeBias, nil
+	default:
+		return 0, fmt.Errorf("cloudburst: unknown bucket %q", o.Bucket)
+	}
+}
+
+func (o Options) scheduler() (sched.Scheduler, error) {
+	cfg := sched.Config{SlackMargin: o.SlackMarginSec}
+	switch o.Scheduler {
+	case ICOnly:
+		return sched.ICOnly{}, nil
+	case Greedy:
+		return sched.Greedy{}, nil
+	case GreedyTracking:
+		return sched.GreedyTracking{}, nil
+	case OrderPreserving:
+		return sched.OrderPreserving{Cfg: cfg}, nil
+	case SIBS:
+		return &sched.SIBS{Cfg: cfg}, nil
+	default:
+		return nil, fmt.Errorf("cloudburst: unknown scheduler %q", o.Scheduler)
+	}
+}
+
+func (o Options) engineConfig() engine.Config {
+	cfg := engine.Config{
+		ICMachines:   o.ICMachines,
+		ECMachines:   o.ECMachines,
+		JitterCV:     o.JitterCV,
+		NetSeed:      o.NetSeed,
+		Rescheduling: o.Rescheduling,
+		SchedConfig:  sched.Config{SlackMargin: o.SlackMarginSec},
+	}
+	amp := o.DiurnalAmplitude
+	if amp == 0 {
+		amp = 0.3
+	}
+	if o.UploadMeanBW > 0 {
+		cfg.UploadProfile = netsim.DiurnalProfile(o.UploadMeanBW, amp)
+	}
+	if o.DownloadMeanBW > 0 {
+		cfg.DownloadProfile = netsim.DiurnalProfile(o.DownloadMeanBW, amp)
+	}
+	if o.OutageMTBF > 0 {
+		dur := o.OutageMeanDuration
+		if dur == 0 {
+			dur = 60
+		}
+		cfg.Outages = &netsim.OutageModel{
+			MeanTimeBetween: o.OutageMTBF,
+			MeanDuration:    dur,
+			ThrottleFactor:  o.OutageThrottle,
+		}
+	}
+	for _, site := range o.ExtraECSites {
+		rc := engine.RemoteSiteConfig{
+			Machines: site.Machines,
+			JitterCV: site.JitterCV,
+		}
+		if site.UploadMeanBW > 0 {
+			rc.UploadProfile = netsim.DiurnalProfile(site.UploadMeanBW, amp)
+		}
+		if site.DownloadMeanBW > 0 {
+			rc.DownloadProfile = netsim.DiurnalProfile(site.DownloadMeanBW, amp)
+		}
+		cfg.RemoteSites = append(cfg.RemoteSites, rc)
+	}
+	if o.AutoscaleECMax > 0 {
+		if cfg.ECMachines == 0 {
+			cfg.ECMachines = 1
+		}
+		cfg.Autoscale = &engine.AutoscaleConfig{
+			Min:        1,
+			Max:        o.AutoscaleECMax,
+			BootDelay:  o.AutoscaleBootDelay,
+			TargetWait: o.AutoscaleTargetWait,
+		}
+	}
+	return cfg
+}
+
+// Run executes one simulated run and returns its report. Runs are
+// deterministic: identical Options yield identical reports.
+func Run(o Options) (*Report, error) {
+	o = o.withDefaults()
+	bucket, err := o.bucket()
+	if err != nil {
+		return nil, err
+	}
+	s, err := o.scheduler()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(workload.Config{
+		Bucket:           bucket,
+		Batches:          o.Batches,
+		MeanJobsPerBatch: o.MeanJobsPerBatch,
+		BatchInterval:    o.BatchIntervalSec,
+		Seed:             o.WorkloadSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(o.engineConfig(), s, gen.Generate())
+	if err != nil {
+		return nil, err
+	}
+	return newReport(o, res), nil
+}
+
+// Compare runs the same workload and network under several schedulers and
+// returns one report per scheduler, in order. The first report is the
+// natural baseline for RelativeOOSeries.
+func Compare(o Options, schedulers ...SchedulerName) ([]*Report, error) {
+	if len(schedulers) == 0 {
+		schedulers = []SchedulerName{ICOnly, Greedy, OrderPreserving, SIBS}
+	}
+	out := make([]*Report, 0, len(schedulers))
+	for _, name := range schedulers {
+		oo := o
+		oo.Scheduler = name
+		r, err := Run(oo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,406 @@
+package cloudburst
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps public-API tests quick.
+func fastOpts(s SchedulerName) Options {
+	return Options{
+		Scheduler:        s,
+		Bucket:           Uniform,
+		Batches:          3,
+		MeanJobsPerBatch: 8,
+		WorkloadSeed:     1,
+		NetSeed:          1,
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	r, err := Run(Options{Batches: 2, MeanJobsPerBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheduler != OrderPreserving || r.Bucket != Uniform {
+		t.Fatalf("defaults wrong: %s/%s", r.Scheduler, r.Bucket)
+	}
+	if r.Makespan <= 0 || r.Jobs == 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, s := range Schedulers() {
+		r, err := Run(fastOpts(s))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.Jobs < r.OriginalJobs {
+			t.Fatalf("%s: lost jobs", s)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("%s: speedup %v", s, r.Speedup)
+		}
+		if s == ICOnly && r.BurstRatio != 0 {
+			t.Fatalf("ICOnly bursted")
+		}
+	}
+}
+
+func TestRunAllBuckets(t *testing.T) {
+	for _, b := range Buckets() {
+		o := fastOpts(Greedy)
+		o.Bucket = b
+		r, err := Run(o)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if r.Bucket != b {
+			t.Fatalf("bucket echo wrong: %s", r.Bucket)
+		}
+	}
+}
+
+func TestRunUnknownNames(t *testing.T) {
+	if _, err := Run(Options{Scheduler: "nope", Batches: 1}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := Run(Options{Bucket: "nope", Batches: 1}); err == nil {
+		t.Fatal("unknown bucket accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(fastOpts(OrderPreserving))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastOpts(OrderPreserving))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.BurstRatio != b.BurstRatio {
+		t.Fatal("identical options produced different reports")
+	}
+}
+
+func TestCompareSharesWorkload(t *testing.T) {
+	rs, err := Compare(fastOpts(ICOnly), ICOnly, Greedy, OrderPreserving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("reports = %d", len(rs))
+	}
+	// Same workload: identical original job counts and t_seq.
+	for _, r := range rs[1:] {
+		if r.OriginalJobs != rs[0].OriginalJobs {
+			t.Fatal("compare used different workloads")
+		}
+		if math.Abs(r.TSeq-rs[0].TSeq) > 1e-9 {
+			t.Fatal("compare t_seq differs")
+		}
+	}
+}
+
+func TestCompareDefaultSet(t *testing.T) {
+	rs, err := Compare(fastOpts(ICOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("default compare set = %d schedulers", len(rs))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r, err := Run(fastOpts(Greedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"Greedy", "makespan", "burst", "valleys"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportSeries(t *testing.T) {
+	o := fastOpts(Greedy)
+	o.OOToleranceJobs = 2
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oo := r.OOSeries()
+	if len(oo) == 0 {
+		t.Fatal("empty OO series")
+	}
+	for i := 1; i < len(oo); i++ {
+		if oo[i].V < oo[i-1].V {
+			t.Fatal("OO series must be non-decreasing")
+		}
+	}
+	comp := r.CompletionSeries()
+	if len(comp) != r.Jobs {
+		t.Fatalf("completion series %d != jobs %d", len(comp), r.Jobs)
+	}
+	waits := r.InOrderWaitSeries()
+	if len(waits) != r.Jobs-1 {
+		t.Fatalf("wait series %d != jobs-1 %d", len(waits), r.Jobs-1)
+	}
+}
+
+func TestRelativeOOSeries(t *testing.T) {
+	rs, err := Compare(fastOpts(ICOnly), ICOnly, OrderPreserving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := rs[1].RelativeOOSeries(rs[0])
+	if len(rel) == 0 {
+		t.Fatal("empty relative series")
+	}
+	self := rs[0].RelativeOOSeries(rs[0])
+	for _, p := range self {
+		if p.V != 0 {
+			t.Fatal("self-relative series must be zero")
+		}
+	}
+}
+
+func TestCompletionsAccessor(t *testing.T) {
+	r, err := Run(fastOpts(Greedy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := r.Completions()
+	if len(cs) != r.Jobs {
+		t.Fatalf("completions %d != jobs %d", len(cs), r.Jobs)
+	}
+	bursted := 0
+	for i, c := range cs {
+		if c.Seq != i {
+			t.Fatalf("completions not seq-ordered at %d", i)
+		}
+		if c.CompletedAt < c.ArrivedAt {
+			t.Fatal("completion precedes arrival")
+		}
+		if c.Bursted {
+			bursted++
+		}
+	}
+	if got := float64(bursted) / float64(len(cs)); math.Abs(got-r.BurstRatio) > 1e-9 {
+		t.Fatalf("bursted fraction %v != burst ratio %v", got, r.BurstRatio)
+	}
+}
+
+func TestBatchBurstRatios(t *testing.T) {
+	o := fastOpts(Greedy)
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := r.BatchBurstRatios()
+	if len(ratios) != o.Batches {
+		t.Fatalf("batch ratios = %d, want %d", len(ratios), o.Batches)
+	}
+	var weighted float64
+	counts := map[int]int{}
+	for _, c := range r.Completions() {
+		counts[c.Batch]++
+	}
+	for b, ratio := range ratios {
+		weighted += ratio * float64(counts[b])
+	}
+	if math.Abs(weighted/float64(r.Jobs)-r.BurstRatio) > 1e-9 {
+		t.Fatal("eq. (12) identity violated: batch ratios don't aggregate to the run ratio")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	csv := SeriesCSV("oo", []Point{{0, 1}, {120, 2.5}})
+	if !strings.HasPrefix(csv, "t,oo\n") || !strings.Contains(csv, "120.000,2.5") {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestHighJitterOption(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	o.JitterCV = 0.5
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlackMarginReducesBursting(t *testing.T) {
+	loose := fastOpts(OrderPreserving)
+	loose.Batches = 4
+	loose.MeanJobsPerBatch = 12
+	tight := loose
+	tight.SlackMarginSec = 1e9
+	a, err := Run(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BurstRatio != 0 {
+		t.Fatalf("infinite margin still bursted %v", b.BurstRatio)
+	}
+	if a.BurstRatio == 0 {
+		t.Fatal("loaded Op run never bursted")
+	}
+}
+
+func TestReschedulingOption(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	o.Rescheduling = true
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs == 0 {
+		t.Fatal("rescheduled run empty")
+	}
+}
+
+func TestTicketReports(t *testing.T) {
+	r, err := Run(fastOpts(OrderPreserving))
+	if err != nil {
+		t.Fatal(err)
+	}
+	generous := r.FixedTickets(1e9)
+	if generous.KeptRatio != 1 || generous.Kept != r.Jobs {
+		t.Fatalf("generous ticket not kept: %+v", generous)
+	}
+	impossible := r.FixedTickets(0.001)
+	if impossible.Kept != 0 || impossible.MeanLateness <= 0 {
+		t.Fatalf("impossible ticket kept: %+v", impossible)
+	}
+	// The minimal uniform ticket must keep its fraction.
+	q := r.MinimalUniformTicket(0.9)
+	rep := r.FixedTickets(q)
+	if rep.KeptRatio < 0.9 {
+		t.Fatalf("minimal ticket %v kept only %v", q, rep.KeptRatio)
+	}
+	// Proportional and positional policies return sane shapes.
+	if p := r.ProportionalTickets(600, 10); p.Jobs != r.Jobs {
+		t.Fatal("proportional jobs mismatch")
+	}
+	if p := r.PositionalTickets(300, 60); p.KeptRatio < 0 || p.KeptRatio > 1 {
+		t.Fatal("positional ratio out of range")
+	}
+}
+
+func TestTicketsCorrelateWithOrdering(t *testing.T) {
+	// The paper: the OO metric is "directly correlated" with ticket
+	// satisfaction. A positional (in-order) promise must be kept at least
+	// as often by the scheduler with the better ordered-output behaviour
+	// on the same workload. We assert only the weaker sanity property that
+	// both schedulers' reports are well-formed and comparable.
+	rs, err := Compare(fastOpts(ICOnly), Greedy, OrderPreserving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		rep := r.PositionalTickets(120, 45)
+		if rep.Jobs != r.Jobs || rep.Kept > rep.Jobs {
+			t.Fatalf("%s: malformed ticket report %+v", r.Scheduler, rep)
+		}
+	}
+}
+
+func TestOutageInjection(t *testing.T) {
+	clean := fastOpts(Greedy)
+	clean.Batches = 4
+	clean.MeanJobsPerBatch = 12
+	flaky := clean
+	flaky.OutageMTBF = 300
+	flaky.OutageMeanDuration = 120
+	a, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Jobs != a.Jobs {
+		t.Fatal("outages lost jobs")
+	}
+	// Hard outages on a bursting scheduler should not make things faster.
+	if b.Makespan < a.Makespan*0.99 {
+		t.Fatalf("outaged run faster than clean: %v vs %v", b.Makespan, a.Makespan)
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	o := fastOpts(Greedy)
+	o.OutageMTBF = 300
+	o.OutageThrottle = 1.5 // invalid
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid throttle did not panic")
+		}
+	}()
+	_, _ = Run(o)
+}
+
+func TestAutoscaleECOption(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	o.Batches = 5
+	o.MeanJobsPerBatch = 15
+	o.ECMachines = 1
+	o.AutoscaleECMax = 6
+	o.AutoscaleTargetWait = 120
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ECPeakMachines <= 1 {
+		t.Fatalf("autoscaler never grew the fleet: peak %d", r.ECPeakMachines)
+	}
+	if r.ECMachineSeconds <= 0 {
+		t.Fatal("no rental accounting")
+	}
+	fixed := o
+	fixed.AutoscaleECMax = 0
+	fixed.ECMachines = 6
+	rf, err := Run(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The elastic fleet should rent meaningfully less machine time than
+	// holding 6 machines for the whole run.
+	if r.ECMachineSeconds >= rf.ECMachineSeconds {
+		t.Fatalf("elastic rented %v >= fixed %v", r.ECMachineSeconds, rf.ECMachineSeconds)
+	}
+}
+
+func TestExtraECSitesOption(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	o.Batches = 5
+	o.MeanJobsPerBatch = 15
+	o.ExtraECSites = []ECSiteSpec{{Machines: 2}}
+	multi, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.SiteBursts) != 1 || len(multi.SiteUtils) != 1 {
+		t.Fatalf("site diagnostics missing: %+v", multi)
+	}
+	single := o
+	single.ExtraECSites = nil
+	base, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.BurstRatio < base.BurstRatio {
+		t.Fatalf("extra provider reduced bursting: %v vs %v", multi.BurstRatio, base.BurstRatio)
+	}
+}

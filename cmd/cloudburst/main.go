@@ -1,0 +1,109 @@
+// Command cloudburst runs one simulated cloud-bursting workload and prints
+// the SLA report, optionally emitting the figure series as CSV.
+//
+// Examples:
+//
+//	cloudburst -scheduler Op -bucket large -jitter 0.5
+//	cloudburst -compare -bucket uniform
+//	cloudburst -scheduler Greedy -csv oo > oo.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudburst"
+)
+
+func main() {
+	var (
+		scheduler = flag.String("scheduler", "Op", "scheduler: ICOnly, Greedy, GreedyTracking, Op, SIBS")
+		bucket    = flag.String("bucket", "uniform", "workload bucket: small, uniform, large")
+		batches   = flag.Int("batches", 6, "number of arrival batches")
+		jobs      = flag.Float64("jobs", 15, "mean jobs per batch (Poisson)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		netSeed   = flag.Int64("netseed", 1, "network seed")
+		jitter    = flag.Float64("jitter", 0.15, "bandwidth jitter CV (0.5 = high variation)")
+		tol       = flag.Int("tol", 0, "out-of-order tolerance t_l (jobs)")
+		margin    = flag.Float64("margin", 0, "slack safety margin tau (seconds)")
+		resched   = flag.Bool("resched", false, "enable rescheduling strategies (Sec. IV-D)")
+		compare   = flag.Bool("compare", false, "run ICOnly, Greedy, Op and SIBS on the same workload")
+		csvOut    = flag.String("csv", "", "emit a series as CSV instead of the report: oo, completions, waits")
+		autoscale = flag.Int("autoscale", 0, "autoscale the EC fleet up to N machines (0 = fixed fleet)")
+		sites     = flag.Int("sites", 0, "extra external-cloud providers with independent pipes")
+		outages   = flag.Float64("outage-mtbf", 0, "inject hard outages with this mean time between (seconds, 0 = off)")
+		ticket    = flag.Float64("ticket", 0, "also report how a fixed completion promise of this many seconds fared")
+	)
+	flag.Parse()
+
+	opts := cloudburst.Options{
+		Scheduler:        cloudburst.SchedulerName(*scheduler),
+		Bucket:           cloudburst.BucketName(*bucket),
+		Batches:          *batches,
+		MeanJobsPerBatch: *jobs,
+		WorkloadSeed:     *seed,
+		NetSeed:          *netSeed,
+		JitterCV:         *jitter,
+		OOToleranceJobs:  *tol,
+		SlackMarginSec:   *margin,
+		Rescheduling:     *resched,
+		AutoscaleECMax:   *autoscale,
+		OutageMTBF:       *outages,
+	}
+	for i := 0; i < *sites; i++ {
+		opts.ExtraECSites = append(opts.ExtraECSites, cloudburst.ECSiteSpec{})
+	}
+
+	if *compare {
+		reports, err := cloudburst.Compare(opts)
+		if err != nil {
+			fatal(err)
+		}
+		base := reports[0]
+		fmt.Printf("%-8s %10s %8s %7s %8s %8s %8s %8s\n",
+			"sched", "makespan_s", "speedup", "burst", "IC-util", "EC-util", "stalls", "valleys")
+		for _, r := range reports {
+			fmt.Printf("%-8s %10.0f %8.2f %7.2f %7.1f%% %7.1f%% %8d %8d\n",
+				r.Scheduler, r.Makespan, r.Speedup, r.BurstRatio,
+				100*r.ICUtil, 100*r.ECUtil, r.PeakCount, r.ValleyCount)
+		}
+		fmt.Printf("\nbursting vs IC-only makespan: ")
+		for _, r := range reports[1:] {
+			fmt.Printf("%s %+.1f%%  ", r.Scheduler, 100*(r.Makespan-base.Makespan)/base.Makespan)
+		}
+		fmt.Println()
+		return
+	}
+
+	report, err := cloudburst.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	switch *csvOut {
+	case "":
+		fmt.Print(report)
+		if *ticket > 0 {
+			rep := report.FixedTickets(*ticket)
+			fmt.Printf("  tickets    %d/%d kept at %.0fs promise (mean lateness %.0fs, worst %.0fs)\n",
+				rep.Kept, rep.Jobs, *ticket, rep.MeanLateness, rep.WorstLateness)
+		}
+		if report.ECMachineSeconds > 0 && *autoscale > 0 {
+			fmt.Printf("  elastic EC %.1f machine-hours rented, peak %d machines\n",
+				report.ECMachineSeconds/3600, report.ECPeakMachines)
+		}
+	case "oo":
+		fmt.Print(cloudburst.SeriesCSV("ordered_bytes", report.OOSeries()))
+	case "completions":
+		fmt.Print(cloudburst.SeriesCSV("completed_at", report.CompletionSeries()))
+	case "waits":
+		fmt.Print(cloudburst.SeriesCSV("inorder_wait", report.InOrderWaitSeries()))
+	default:
+		fatal(fmt.Errorf("unknown -csv series %q (want oo, completions, waits)", *csvOut))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudburst:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,297 @@
+// Package cluster models the compute side of both clouds: a set of machines
+// with relative speed factors pulling tasks from a FCFS queue, with
+// busy-time accounting for the utilization SLA, plus a map-reduce helper
+// that fans a job out across slots the way the prototype's Hadoop clusters
+// did.
+package cluster
+
+import (
+	"fmt"
+
+	"cloudburst/internal/job"
+	"cloudburst/internal/sim"
+)
+
+// Machine is one execution slot (a printer controller VM in the IC, an EMR
+// instance in the EC).
+type Machine struct {
+	ID    int
+	Speed float64 // work units per second relative to a standard machine
+
+	busyTime    float64 // accumulated busy seconds (completed work)
+	runningFrom float64 // start of the current task, valid when running
+	running     *Task
+
+	// Elastic-fleet state.
+	addedAt   float64
+	retiredAt float64 // -1 while active
+	draining  bool
+}
+
+// Busy reports whether the machine is executing a task.
+func (m *Machine) Busy() bool { return m.running != nil }
+
+// BusyTime returns the seconds spent executing up to virtual time now.
+func (m *Machine) BusyTime(now float64) float64 {
+	b := m.busyTime
+	if m.running != nil {
+		b += now - m.runningFrom
+	}
+	return b
+}
+
+// Task is one unit of compute work: StdSeconds of standard-machine time,
+// usually carrying the job it processes.
+type Task struct {
+	Job        *job.Job
+	StdSeconds float64
+	// OnDone fires at completion with the finishing machine.
+	OnDone func(at float64, t *Task, m *Machine)
+	// OnStart fires when a machine picks the task up (optional).
+	OnStart func(at float64, t *Task, m *Machine)
+
+	EnqueuedAt float64
+	StartedAt  float64
+
+	machine *Machine
+	doneEv  *sim.Event
+	done    bool
+}
+
+// Running reports whether the task is currently executing.
+func (t *Task) Running() bool { return t.machine != nil && !t.done }
+
+// Done reports whether the task has completed.
+func (t *Task) Done() bool { return t.done }
+
+// RemainingStdSeconds returns the standard-machine work left at time now:
+// full work while queued, the unexecuted fraction while running, zero when
+// done. This is locally observable state (the cluster knows its own
+// progress), so schedulers may use it for backlog estimates.
+func (t *Task) RemainingStdSeconds(now float64) float64 {
+	switch {
+	case t.done:
+		return 0
+	case t.machine == nil:
+		return t.StdSeconds
+	default:
+		executed := (now - t.StartedAt) * t.machine.Speed
+		if executed >= t.StdSeconds {
+			return 0
+		}
+		return t.StdSeconds - executed
+	}
+}
+
+// Cluster is a FCFS pool of machines.
+type Cluster struct {
+	Name string
+
+	eng      *sim.Engine
+	machines []*Machine
+	retired  []*Machine
+	queue    []*Task
+
+	createdAt    float64
+	completed    int
+	peakMachines int
+	// OnIdle fires whenever the cluster transitions to fully idle (no
+	// running or queued tasks); the rescheduling strategies hook it.
+	OnIdle func(c *Cluster)
+}
+
+// New creates a cluster whose machines have the given speed factors.
+func New(eng *sim.Engine, name string, speeds []float64) *Cluster {
+	if len(speeds) == 0 {
+		panic(fmt.Sprintf("cluster %q needs at least one machine", name))
+	}
+	c := &Cluster{Name: name, eng: eng, createdAt: eng.Now()}
+	for i, s := range speeds {
+		if s <= 0 {
+			panic(fmt.Sprintf("cluster %q machine %d speed %v must be positive", name, i, s))
+		}
+		c.machines = append(c.machines, &Machine{ID: i, Speed: s, addedAt: eng.Now(), retiredAt: -1})
+	}
+	c.peakMachines = len(c.machines)
+	return c
+}
+
+// Uniform creates a cluster of n machines at the same speed.
+func Uniform(eng *sim.Engine, name string, n int, speed float64) *Cluster {
+	speeds := make([]float64, n)
+	for i := range speeds {
+		speeds[i] = speed
+	}
+	return New(eng, name, speeds)
+}
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Machines returns the machine list (shared; do not mutate).
+func (c *Cluster) Machines() []*Machine { return c.machines }
+
+// Completed returns the number of tasks finished.
+func (c *Cluster) Completed() int { return c.completed }
+
+// Submit queues a task; it starts immediately if a machine is free.
+func (c *Cluster) Submit(t *Task) {
+	if t.StdSeconds <= 0 {
+		panic(fmt.Sprintf("cluster %q: task must carry positive work, got %v", c.Name, t.StdSeconds))
+	}
+	t.EnqueuedAt = c.eng.Now()
+	c.queue = append(c.queue, t)
+	c.dispatch()
+}
+
+// dispatch assigns queued tasks to free machines in FCFS order.
+func (c *Cluster) dispatch() {
+	for len(c.queue) > 0 {
+		m := c.freeMachine()
+		if m == nil {
+			return
+		}
+		t := c.queue[0]
+		c.queue = c.queue[1:]
+		c.start(m, t)
+	}
+}
+
+func (c *Cluster) freeMachine() *Machine {
+	for _, m := range c.machines {
+		if !m.Busy() && !m.draining {
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) start(m *Machine, t *Task) {
+	now := c.eng.Now()
+	t.machine = m
+	t.StartedAt = now
+	m.running = t
+	m.runningFrom = now
+	if t.OnStart != nil {
+		t.OnStart(now, t, m)
+	}
+	dur := t.StdSeconds / m.Speed
+	t.doneEv = c.eng.ScheduleAfter(dur, func() {
+		t.done = true
+		m.running = nil
+		m.busyTime += c.eng.Now() - m.runningFrom
+		c.completed++
+		if m.draining {
+			c.retire(m)
+		}
+		if t.OnDone != nil {
+			t.OnDone(c.eng.Now(), t, m)
+		}
+		c.dispatch()
+		if c.OnIdle != nil && c.Idle() {
+			c.OnIdle(c)
+		}
+	})
+}
+
+// Idle reports whether no task is running or queued.
+func (c *Cluster) Idle() bool {
+	if len(c.queue) > 0 {
+		return false
+	}
+	for _, m := range c.machines {
+		if m.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// QueueLength returns the number of queued (not yet running) tasks.
+func (c *Cluster) QueueLength() int { return len(c.queue) }
+
+// RunningTasks returns the number of tasks currently executing.
+func (c *Cluster) RunningTasks() int {
+	n := 0
+	for _, m := range c.machines {
+		if m.Busy() {
+			n++
+		}
+	}
+	return n
+}
+
+// BacklogStdSeconds returns the standard-machine work queued plus the
+// remaining work of running tasks at time now.
+func (c *Cluster) BacklogStdSeconds() float64 {
+	now := c.eng.Now()
+	var b float64
+	for _, t := range c.queue {
+		b += t.StdSeconds
+	}
+	for _, m := range c.machines {
+		if m.running != nil {
+			b += m.running.RemainingStdSeconds(now)
+		}
+	}
+	return b
+}
+
+// TotalSpeed returns the sum of machine speed factors.
+func (c *Cluster) TotalSpeed() float64 {
+	var s float64
+	for _, m := range c.machines {
+		s += m.Speed
+	}
+	return s
+}
+
+// Withdraw removes a queued task so it can be scheduled elsewhere (the
+// rescheduling strategies in Sec. IV-D). Running or finished tasks cannot
+// be withdrawn; it returns false for them and for unknown tasks.
+func (c *Cluster) Withdraw(t *Task) bool {
+	for i, q := range c.queue {
+		if q == t {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedTasks returns a snapshot of the queued tasks in FCFS order.
+func (c *Cluster) QueuedTasks() []*Task {
+	return append([]*Task(nil), c.queue...)
+}
+
+// Utilization returns the mean machine utilization since cluster creation —
+// equations (8)/(9): total busy time divided by |M|·elapsed. When the engine
+// stops the clock at the last completion, elapsed equals the makespan and
+// this is exactly the paper's u_M(J).
+func (c *Cluster) Utilization() float64 {
+	now := c.eng.Now()
+	el := now - c.createdAt
+	if el <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, m := range c.machines {
+		busy += m.BusyTime(now)
+	}
+	return busy / (el * float64(len(c.machines)))
+}
+
+// UtilizationAt computes utilization against an explicit end time (e.g. the
+// makespan end) instead of the current clock.
+func (c *Cluster) UtilizationAt(end float64) float64 {
+	el := end - c.createdAt
+	if el <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, m := range c.machines {
+		b := m.BusyTime(end)
+		busy += b
+	}
+	return busy / (el * float64(len(c.machines)))
+}

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"cloudburst/internal/job"
+	"cloudburst/internal/sim"
+)
+
+func TestSingleMachineFCFS(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 1, 1.0)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		c.Submit(&Task{StdSeconds: 10, OnDone: func(at float64, tk *Task, m *Machine) {
+			done = append(done, at)
+		}})
+	}
+	eng.Run()
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-9 {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+	if c.Completed() != 3 {
+		t.Fatalf("Completed = %d", c.Completed())
+	}
+}
+
+func TestMultiMachineParallelism(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 4, 1.0)
+	count := 0
+	for i := 0; i < 8; i++ {
+		c.Submit(&Task{StdSeconds: 10, OnDone: func(at float64, tk *Task, m *Machine) { count++ }})
+	}
+	eng.Run()
+	if eng.Now() != 20 {
+		t.Fatalf("8 jobs on 4 machines should take 20s, took %v", eng.Now())
+	}
+	if count != 8 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestSpeedFactorScalesDuration(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, "ec", []float64{2.0})
+	var at float64
+	c.Submit(&Task{StdSeconds: 10, OnDone: func(a float64, tk *Task, m *Machine) { at = a }})
+	eng.Run()
+	if math.Abs(at-5) > 1e-9 {
+		t.Fatalf("2x machine should halve duration: %v", at)
+	}
+}
+
+func TestHeterogeneousMachinesFCFSOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, "mix", []float64{1.0, 4.0})
+	var starts []int
+	for i := 0; i < 4; i++ {
+		i := i
+		c.Submit(&Task{StdSeconds: 8, OnStart: func(at float64, tk *Task, m *Machine) {
+			starts = append(starts, i)
+		}})
+	}
+	eng.Run()
+	// Tasks must start in submission order regardless of machine speeds.
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			t.Fatalf("starts out of order: %v", starts)
+		}
+	}
+}
+
+func TestOnStartAndTimestamps(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 1, 1.0)
+	var startedAt, enqueuedAt float64 = -1, -1
+	t1 := &Task{StdSeconds: 5}
+	t2 := &Task{StdSeconds: 5, OnStart: func(at float64, tk *Task, m *Machine) {
+		startedAt = at
+		enqueuedAt = tk.EnqueuedAt
+	}}
+	c.Submit(t1)
+	c.Submit(t2)
+	eng.Run()
+	if startedAt != 5 || enqueuedAt != 0 {
+		t.Fatalf("startedAt=%v enqueuedAt=%v", startedAt, enqueuedAt)
+	}
+}
+
+func TestRemainingStdSeconds(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, "ec", []float64{2.0})
+	tk := &Task{StdSeconds: 10}
+	blocker := &Task{StdSeconds: 4}
+	c.Submit(blocker)
+	c.Submit(tk)
+	if tk.RemainingStdSeconds(eng.Now()) != 10 {
+		t.Fatal("queued task should report full work")
+	}
+	eng.RunUntil(3) // blocker runs [0,2]; tk started at 2, executed 1s at 2x = 2 std
+	if got := tk.RemainingStdSeconds(3); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("remaining = %v, want 8", got)
+	}
+	eng.Run()
+	if tk.RemainingStdSeconds(eng.Now()) != 0 || !tk.Done() {
+		t.Fatal("finished task should report zero remaining")
+	}
+}
+
+func TestBacklogStdSeconds(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 1, 1.0)
+	c.Submit(&Task{StdSeconds: 10})
+	c.Submit(&Task{StdSeconds: 7})
+	if got := c.BacklogStdSeconds(); math.Abs(got-17) > 1e-9 {
+		t.Fatalf("backlog = %v, want 17", got)
+	}
+	eng.RunUntil(4)
+	if got := c.BacklogStdSeconds(); math.Abs(got-13) > 1e-9 {
+		t.Fatalf("backlog after 4s = %v, want 13", got)
+	}
+	eng.Run()
+	if c.BacklogStdSeconds() != 0 {
+		t.Fatal("backlog after drain should be 0")
+	}
+}
+
+func TestIdleAndOnIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 2, 1.0)
+	if !c.Idle() {
+		t.Fatal("new cluster should be idle")
+	}
+	idles := 0
+	c.OnIdle = func(*Cluster) { idles++ }
+	c.Submit(&Task{StdSeconds: 5})
+	c.Submit(&Task{StdSeconds: 10})
+	if c.Idle() {
+		t.Fatal("cluster with running tasks is not idle")
+	}
+	eng.Run()
+	if idles != 1 {
+		t.Fatalf("OnIdle fired %d times, want 1", idles)
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 1, 1.0)
+	running := &Task{StdSeconds: 10}
+	queued := &Task{StdSeconds: 10}
+	c.Submit(running)
+	c.Submit(queued)
+	if !c.Withdraw(queued) {
+		t.Fatal("queued task should be withdrawable")
+	}
+	if c.Withdraw(running) {
+		t.Fatal("running task must not be withdrawable")
+	}
+	if c.Withdraw(queued) {
+		t.Fatal("double withdraw should fail")
+	}
+	eng.Run()
+	if c.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1 (withdrawn task never ran)", c.Completed())
+	}
+}
+
+func TestQueuedTasksSnapshot(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 1, 1.0)
+	c.Submit(&Task{StdSeconds: 10})
+	a := &Task{StdSeconds: 1}
+	b := &Task{StdSeconds: 2}
+	c.Submit(a)
+	c.Submit(b)
+	snap := c.QueuedTasks()
+	if len(snap) != 2 || snap[0] != a || snap[1] != b {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	snap[0] = nil // mutating the snapshot must not affect the queue
+	if c.QueueLength() != 2 {
+		t.Fatal("snapshot mutation leaked")
+	}
+	eng.Run()
+}
+
+func TestUtilizationFullAndPartial(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 2, 1.0)
+	// Machine 0 busy [0,10], machine 1 busy [0,4]: util at t=10 = 14/20.
+	c.Submit(&Task{StdSeconds: 10})
+	c.Submit(&Task{StdSeconds: 4})
+	eng.Run()
+	if got := c.Utilization(); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("Utilization = %v, want 0.7", got)
+	}
+	if got := c.UtilizationAt(10); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("UtilizationAt(10) = %v, want 0.7", got)
+	}
+	if c.UtilizationAt(0) != 0 {
+		t.Fatal("zero-window utilization should be 0")
+	}
+}
+
+func TestUtilizationMidRun(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ic", 1, 1.0)
+	c.Submit(&Task{StdSeconds: 100})
+	eng.RunUntil(50)
+	if got := c.Utilization(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("mid-run utilization = %v, want 1.0 (running task counts)", got)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, f := range []func(){
+		func() { New(eng, "x", nil) },
+		func() { New(eng, "x", []float64{0}) },
+		func() { New(eng, "x", []float64{-1}) },
+		func() { Uniform(eng, "x", 1, 1).Submit(&Task{StdSeconds: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid config did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRunningTasksAndTotalSpeed(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, "mix", []float64{1, 2, 3})
+	if c.TotalSpeed() != 6 {
+		t.Fatalf("TotalSpeed = %v", c.TotalSpeed())
+	}
+	c.Submit(&Task{StdSeconds: 100})
+	c.Submit(&Task{StdSeconds: 100})
+	if c.RunningTasks() != 2 {
+		t.Fatalf("RunningTasks = %d", c.RunningTasks())
+	}
+	eng.RunUntil(1)
+	if c.Size() != 3 || len(c.Machines()) != 3 {
+		t.Fatal("Size/Machines wrong")
+	}
+}
+
+func TestMapReduceSingleWay(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ec", 2, 1.0)
+	j := &job.Job{ID: 1, InputSize: 1, OutputSize: 1, TrueProcTime: 10}
+	var at float64
+	MapReduceJob(c, j, 10, 1, 0.1, func(a float64) { at = a })
+	eng.Run()
+	// Single way folds the merge into one task: 10*1.1... no—ways==1 adds
+	// mergeWork=0 (ways>1 required), so plain 10s.
+	if math.Abs(at-10) > 1e-9 {
+		t.Fatalf("1-way MR completed at %v, want 10", at)
+	}
+}
+
+func TestMapReduceParallelSpeedup(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ec", 4, 1.0)
+	j := &job.Job{ID: 1, InputSize: 1, OutputSize: 1, TrueProcTime: 40}
+	var at float64
+	MapReduceJob(c, j, 40, 4, 0, func(a float64) { at = a })
+	eng.Run()
+	if math.Abs(at-10) > 1e-9 {
+		t.Fatalf("4-way MR completed at %v, want 10", at)
+	}
+}
+
+func TestMapReduceMergePhase(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ec", 2, 1.0)
+	j := &job.Job{ID: 1}
+	var at float64
+	MapReduceJob(c, j, 20, 2, 0.1, func(a float64) { at = a })
+	eng.Run()
+	// Two 10s maps in parallel, then a 2s merge.
+	if math.Abs(at-12) > 1e-9 {
+		t.Fatalf("MR with merge completed at %v, want 12", at)
+	}
+}
+
+func TestMapReduceClampsWays(t *testing.T) {
+	eng := sim.NewEngine()
+	c := Uniform(eng, "ec", 2, 1.0)
+	var at float64
+	MapReduceJob(c, &job.Job{ID: 1}, 20, 100, 0, func(a float64) { at = a })
+	eng.Run()
+	// Clamped to 2 ways: 10s.
+	if math.Abs(at-10) > 1e-9 {
+		t.Fatalf("clamped MR completed at %v, want 10", at)
+	}
+	MapReduceJob(c, &job.Job{ID: 2}, 20, 0, -1, func(a float64) { at = a })
+	eng.Run()
+	if at <= 10 {
+		t.Fatal("ways=0 should clamp to 1 and still run")
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import "fmt"
+
+// Elastic-cluster support: machines can be added (after a boot delay,
+// handled by the caller) and drained/retired at runtime, with rental-time
+// accounting so scaling policies can weigh cost against SLA. This realizes
+// the paper's future-work item — "the scaling (at EC) must be just enough
+// to ensure saturation of the download bandwidth".
+
+// AddMachine brings a new machine online immediately and dispatches queued
+// work to it. It returns the machine.
+func (c *Cluster) AddMachine(speed float64) *Machine {
+	if speed <= 0 {
+		panic(fmt.Sprintf("cluster %q: machine speed %v must be positive", c.Name, speed))
+	}
+	m := &Machine{ID: c.nextID(), Speed: speed, addedAt: c.eng.Now(), retiredAt: -1}
+	c.machines = append(c.machines, m)
+	if len(c.machines) > c.peakMachines {
+		c.peakMachines = len(c.machines)
+	}
+	c.dispatch()
+	return m
+}
+
+func (c *Cluster) nextID() int {
+	return len(c.machines) + len(c.retired)
+}
+
+// Drain marks a machine so it takes no new work; it retires when its
+// current task (if any) completes. Draining an already-draining machine is
+// a no-op. Returns false if the machine is not active in this cluster.
+func (c *Cluster) Drain(m *Machine) bool {
+	for _, am := range c.machines {
+		if am == m {
+			m.draining = true
+			if !m.Busy() {
+				c.retire(m)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DrainOneIdle drains (and immediately retires) one idle machine, keeping
+// at least min active. It returns true if a machine was retired.
+func (c *Cluster) DrainOneIdle(min int) bool {
+	if len(c.machines) <= min {
+		return false
+	}
+	for _, m := range c.machines {
+		if !m.Busy() && !m.draining {
+			m.draining = true
+			c.retire(m)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) retire(m *Machine) {
+	for i, am := range c.machines {
+		if am == m {
+			c.machines = append(c.machines[:i], c.machines[i+1:]...)
+			m.retiredAt = c.eng.Now()
+			c.retired = append(c.retired, m)
+			return
+		}
+	}
+}
+
+// MachineSeconds returns the total rented machine time up to end: for each
+// machine ever active, the span from its activation to its retirement (or
+// end). This is the cost basis for elastic fleets.
+func (c *Cluster) MachineSeconds(end float64) float64 {
+	var s float64
+	for _, m := range c.machines {
+		if end > m.addedAt {
+			s += end - m.addedAt
+		}
+	}
+	for _, m := range c.retired {
+		stop := m.retiredAt
+		if stop > end {
+			stop = end
+		}
+		if stop > m.addedAt {
+			s += stop - m.addedAt
+		}
+	}
+	return s
+}
+
+// UtilizationRented returns busy time divided by rented machine time up to
+// end — the utilization measure that stays meaningful when the fleet size
+// changes mid-run.
+func (c *Cluster) UtilizationRented(end float64) float64 {
+	rented := c.MachineSeconds(end)
+	if rented <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, m := range c.machines {
+		busy += m.BusyTime(end)
+	}
+	for _, m := range c.retired {
+		busy += m.busyTime // retired machines are never mid-task
+	}
+	return busy / rented
+}
+
+// PeakMachines returns the largest number of simultaneously active
+// machines seen so far (active plus any retired overlap is approximated by
+// the current count high-water mark maintained on add).
+func (c *Cluster) PeakMachines() int {
+	if c.peakMachines < len(c.machines) {
+		return len(c.machines)
+	}
+	return c.peakMachines
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"cloudburst/internal/job"
+)
+
+// MapReduceJob fans one job's work across up to `ways` map tasks on the
+// cluster and fires onDone after the final merge — the execution shape of
+// the prototype's Hadoop / Elastic MapReduce substrate. Map tasks split the
+// standard-machine work evenly; the merge adds mergeFraction of the total
+// work, executed as a single task (the paper's "final merge of the
+// results").
+//
+// onDone receives the virtual completion time of the merge.
+func MapReduceJob(c *Cluster, j *job.Job, stdSeconds float64, ways int, mergeFraction float64, onDone func(at float64)) {
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > c.Size() {
+		ways = c.Size()
+	}
+	if mergeFraction < 0 {
+		mergeFraction = 0
+	}
+	mapWork := stdSeconds
+	mergeWork := 0.0
+	if ways > 1 && mergeFraction > 0 {
+		mergeWork = stdSeconds * mergeFraction
+	}
+	if ways == 1 {
+		// Degenerate case: a single task, no separate merge.
+		c.Submit(&Task{Job: j, StdSeconds: mapWork + mergeWork, OnDone: func(at float64, t *Task, m *Machine) {
+			if onDone != nil {
+				onDone(at)
+			}
+		}})
+		return
+	}
+	remaining := ways
+	per := mapWork / float64(ways)
+	finishMerge := func(at float64) {
+		if mergeWork <= 0 {
+			if onDone != nil {
+				onDone(at)
+			}
+			return
+		}
+		c.Submit(&Task{Job: j, StdSeconds: mergeWork, OnDone: func(at2 float64, t *Task, m *Machine) {
+			if onDone != nil {
+				onDone(at2)
+			}
+		}})
+	}
+	for i := 0; i < ways; i++ {
+		c.Submit(&Task{Job: j, StdSeconds: per, OnDone: func(at float64, t *Task, m *Machine) {
+			remaining--
+			if remaining == 0 {
+				finishMerge(at)
+			}
+		}})
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+
+	"cloudburst/internal/sim"
+)
+
+// AutoscaleConfig drives elastic external-cloud capacity — the paper's
+// future-work scaling policy: keep just enough EC machines that the
+// transfer pipes stay saturated, and release them when demand fades (the
+// hybrid-cloud cost argument of Sec. I: "remote computation can completely
+// be scaled down during periods of low demand").
+type AutoscaleConfig struct {
+	Min        int     // never drain below this many machines (default 1)
+	Max        int     // never boot above this many (default 8)
+	BootDelay  float64 // seconds from decision to availability (default 120)
+	Period     float64 // control-loop period (default 60)
+	TargetWait float64 // desired max expected queueing delay at the EC (default 300 s)
+}
+
+func (a AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if a.Min == 0 {
+		a.Min = 1
+	}
+	if a.Max == 0 {
+		a.Max = 8
+	}
+	if a.BootDelay == 0 {
+		a.BootDelay = 120
+	}
+	if a.Period == 0 {
+		a.Period = 60
+	}
+	if a.TargetWait == 0 {
+		a.TargetWait = 300
+	}
+	return a
+}
+
+func (a AutoscaleConfig) validate() error {
+	switch {
+	case a.Min < 0 || a.Max < a.Min:
+		return fmt.Errorf("engine: autoscale bounds [%d,%d] invalid", a.Min, a.Max)
+	case a.BootDelay < 0 || a.Period <= 0 || a.TargetWait <= 0:
+		return fmt.Errorf("engine: autoscale timing invalid: %+v", a)
+	}
+	return nil
+}
+
+// autoscaler is the periodic control loop.
+type autoscaler struct {
+	e            *Engine
+	cfg          AutoscaleConfig
+	pendingBoots int
+	bootCount    int
+	drainCount   int
+}
+
+// startAutoscaler arms the control loop on the engine's EC cluster.
+func startAutoscaler(e *Engine, cfg AutoscaleConfig) (*autoscaler, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	a := &autoscaler{e: e, cfg: cfg}
+	sim.NewTicker(e.eng, cfg.Period, func(now float64) { a.tick() })
+	return a, nil
+}
+
+// tick evaluates demand and scales. Demand is the expected queueing wait
+// at the EC for work that has actually arrived there (queued + running).
+// Jobs still in the upload pipe are deliberately excluded: they arrive at
+// the pace of the pipe, and the paper's policy is to hold "just enough"
+// machines to keep the transfer path saturated — booting for bytes that
+// cannot arrive any faster only rents idle capacity.
+func (a *autoscaler) tick() {
+	e := a.e
+	demandStd := e.ec.BacklogStdSeconds()
+	fleet := e.ec.Size() + a.pendingBoots
+	if fleet < 1 {
+		fleet = 1
+	}
+	wait := demandStd / (float64(fleet) * e.cfg.ECSpeed)
+
+	switch {
+	case wait > a.cfg.TargetWait && e.ec.Size()+a.pendingBoots < a.cfg.Max:
+		a.pendingBoots++
+		a.bootCount++
+		e.eng.ScheduleAfter(a.cfg.BootDelay, func() {
+			a.pendingBoots--
+			e.ec.AddMachine(e.cfg.ECSpeed)
+		})
+	case wait < a.cfg.TargetWait/2 && a.pendingBoots == 0:
+		if e.ec.DrainOneIdle(a.cfg.Min) {
+			a.drainCount++
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package engine assembles the full cloud-bursting system of the paper's
+// Fig. 5 on top of the simulation substrates: batches arrive into a job
+// queue, the controller invokes a scheduler, IC jobs run on the internal
+// cluster, EC jobs flow through the upload queue(s), the external cluster,
+// and the download queue, and every completion lands in the result queue
+// where the SLA metrics are computed.
+//
+// The engine owns the learned models (QRSM estimator, bandwidth predictor,
+// thread tuner) and feeds them observations as the run unfolds, exactly as
+// the autonomic prototype does.
+package engine
+
+import (
+	"errors"
+
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/job"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/qrsm"
+	"cloudburst/internal/sched"
+	"cloudburst/internal/sim"
+	"cloudburst/internal/sla"
+)
+
+// Config parameterizes a run. Zero values take defaults mirroring the
+// paper's test bed: 8 IC VMs, 2 EC VMs, a diurnal thin pipe, 1 MB probes,
+// and a bootstrapped QRSM.
+type Config struct {
+	// Clusters.
+	ICMachines int     // default 8
+	ICSpeed    float64 // default 1.0
+	ECMachines int     // default 2
+	ECSpeed    float64 // default 1.0
+
+	// Network.
+	UploadProfile   *netsim.Profile // default diurnal 600 kB/s ±30%
+	DownloadProfile *netsim.Profile // default diurnal 900 kB/s ±30%
+	JitterCV        float64         // default 0.15 ("high variation" runs use ~0.5)
+	ResamplePeriod  float64         // default 60 s
+	ThreadModel     netsim.ThreadModel
+	NetSeed         int64
+	// Outages, when set, injects throttling/outage episodes on both links.
+	Outages *netsim.OutageModel
+
+	// Learned models.
+	ProbePeriod    float64 // default 300 s; negative disables probing
+	ProbeBytes     int64   // default 1 MB
+	PredictorAlpha float64 // default 0.3
+	PredictorSlots int     // default 24
+	PriorBW        float64 // default 300 kB/s
+	BootstrapN     int     // QRSM bootstrap samples, default 200; negative disables
+	BootstrapSeed  int64
+	NoiseCV        float64 // QRSM bootstrap noise (default 0.12)
+
+	// Execution model.
+	MapWays       int     // EC map parallelism per job (default 1)
+	MergeFraction float64 // merge work fraction for MapWays > 1
+
+	// Scheduler tuning.
+	SchedConfig sched.Config
+
+	// RemoteSites adds external clouds beyond the primary EC; schedulers
+	// burst each job to the site with the earliest estimated completion.
+	RemoteSites []RemoteSiteConfig
+
+	// Rescheduling strategies of Sec. IV-D (idle steal-back / idle pull).
+	Rescheduling       bool
+	ReschedulingPeriod float64 // default 30 s
+
+	// Autoscale, when set, makes the EC fleet elastic: machines boot (after
+	// a delay) when the committed EC demand would queue too long and drain
+	// when idle. ECMachines then only sets the initial fleet.
+	Autoscale *AutoscaleConfig
+
+	// Safety valve: abort if the virtual clock passes this (default 30 days).
+	MaxVirtualTime float64
+
+	// OnBatch, when set, receives a trace record after each scheduling
+	// round — the observable state the scheduler saw and what it decided.
+	OnBatch func(BatchTrace)
+	// OnECJob, when set, receives a trace record when a bursted job's
+	// output lands, with its per-phase timestamps.
+	OnECJob func(ECTrace)
+}
+
+// BatchTrace captures one scheduling round for observability.
+type BatchTrace struct {
+	Now             float64
+	Batch           int
+	Decisions       int
+	Bursted         int
+	ICBacklogStd    float64
+	UploadBacklog   float64
+	ECPendingStd    float64
+	DownloadPending float64
+	PredUpBW        float64
+	PredDownBW      float64
+	Threads         int
+}
+
+// ECTrace captures one bursted job's journey through the pipeline.
+type ECTrace struct {
+	JobID       int
+	Seq         int
+	InputSize   int64
+	OutputSize  int64
+	ScheduledAt float64
+	UploadDone  float64
+	ComputeDone float64
+	Completed   float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ICMachines == 0 {
+		c.ICMachines = 8
+	}
+	if c.ICSpeed == 0 {
+		c.ICSpeed = 1
+	}
+	if c.ECMachines == 0 {
+		c.ECMachines = 2
+	}
+	if c.ECSpeed == 0 {
+		c.ECSpeed = 1
+	}
+	if c.UploadProfile == nil {
+		c.UploadProfile = netsim.DiurnalProfile(600*1024, 0.3)
+	}
+	if c.DownloadProfile == nil {
+		c.DownloadProfile = netsim.DiurnalProfile(900*1024, 0.3)
+	}
+	if c.JitterCV == 0 {
+		c.JitterCV = 0.15
+	}
+	if c.ResamplePeriod == 0 {
+		c.ResamplePeriod = 60
+	}
+	if c.ThreadModel.PerThread == 0 {
+		c.ThreadModel = netsim.DefaultThreadModel()
+	}
+	if c.ProbePeriod == 0 {
+		c.ProbePeriod = 300
+	}
+	if c.ProbeBytes == 0 {
+		c.ProbeBytes = 1 << 20
+	}
+	if c.PredictorAlpha == 0 {
+		c.PredictorAlpha = 0.3
+	}
+	if c.PredictorSlots == 0 {
+		c.PredictorSlots = 24
+	}
+	if c.PriorBW == 0 {
+		c.PriorBW = 300 * 1024
+	}
+	if c.BootstrapN == 0 {
+		c.BootstrapN = 200
+	}
+	if c.NoiseCV == 0 {
+		c.NoiseCV = 0.12
+	}
+	if c.MapWays == 0 {
+		c.MapWays = 1
+	}
+	if c.ReschedulingPeriod == 0 {
+		c.ReschedulingPeriod = 30
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = 30 * netsim.Day
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	Scheduler string
+	Bucket    string
+
+	Records *sla.Set
+	TSeq    float64 // sequential standard-machine time of the workload
+
+	Makespan   float64
+	Speedup    float64
+	BurstRatio float64
+	ICUtil     float64
+	ECUtil     float64
+
+	Jobs          int // post-chunking queue length
+	OriginalJobs  int
+	ChunksCreated int
+
+	UploadedBytes   int64
+	DownloadedBytes int64
+	ProbeCount      int
+	FinalThreads    int
+
+	// Multi-site diagnostics: bursts routed to each remote site and its
+	// utilization (primary-EC numbers are in BurstRatio/ECUtil).
+	SiteBursts []int
+	SiteUtils  []float64
+
+	// Elastic-EC accounting (meaningful when autoscaling is enabled; with
+	// a fixed fleet ECMachineSeconds is simply fleet × makespan-window).
+	ECMachineSeconds float64
+	ECPeakMachines   int
+	ECBoots          int
+	ECDrains         int
+
+	// Learned-model diagnostics.
+	QRSMR2                float64
+	PredictorObservations int
+}
+
+// ErrTimeout is returned when a run exceeds Config.MaxVirtualTime,
+// indicating a stalled pipeline.
+var ErrTimeout = errors.New("engine: run exceeded the virtual time budget")
+
+// uploader abstracts the single-queue and SIBS upload paths.
+type uploader interface {
+	Enqueue(it *netsim.QueueItem)
+	Backlog() float64
+	QueueBacklogs() (s, m, l float64)
+	StealWaiting() *netsim.QueueItem
+	Busy() bool
+	SetBounds(sBound, mBound int64)
+	// Channels reports how many transfers can run concurrently given the
+	// current size-interval bounds (1 when splitting is collapsed).
+	Channels() int
+}
+
+type singleUploader struct{ q *netsim.Queue }
+
+func (u singleUploader) Enqueue(it *netsim.QueueItem)     { u.q.Enqueue(it) }
+func (u singleUploader) Backlog() float64                 { return u.q.Backlog() }
+func (u singleUploader) QueueBacklogs() (s, m, l float64) { return 0, 0, u.q.Backlog() }
+func (u singleUploader) StealWaiting() *netsim.QueueItem  { return u.q.StealHead() }
+func (u singleUploader) Busy() bool                       { return u.q.Busy() }
+func (u singleUploader) SetBounds(sBound, mBound int64)   {}
+func (u singleUploader) Channels() int                    { return 1 }
+
+type sibsUploader struct{ u *netsim.SplitUploader }
+
+func (u sibsUploader) Enqueue(it *netsim.QueueItem)     { u.u.Enqueue(it) }
+func (u sibsUploader) Backlog() float64                 { return u.u.Backlog() }
+func (u sibsUploader) QueueBacklogs() (s, m, l float64) { return u.u.QueueBacklogs() }
+func (u sibsUploader) Busy() bool                       { return u.u.Busy() }
+func (u sibsUploader) SetBounds(sBound, mBound int64)   { u.u.SetBounds(sBound, mBound) }
+
+// Channels counts the distinct size intervals the current bounds define.
+func (u sibsUploader) Channels() int {
+	s, m := u.u.Bounds()
+	switch {
+	case s <= 0 && m <= 0:
+		return 1 // collapsed: everything routes to the large queue
+	case s == m || s <= 0:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// StealWaiting prefers the large queue: its waiting jobs block the longest
+// and never ride up, so reclaiming them for the IC frees the most slack.
+func (u sibsUploader) StealWaiting() *netsim.QueueItem {
+	if it := u.u.Large.StealHead(); it != nil {
+		return it
+	}
+	if it := u.u.Medium.StealHead(); it != nil {
+		return it
+	}
+	return u.u.Small.StealHead()
+}
+
+// jobState tracks one queue slot through the pipeline.
+type jobState struct {
+	j     *job.Job
+	seq   int
+	place sched.Placement
+
+	site        int               // 0 = primary EC; 1+k = remote site k
+	uploadItem  *netsim.QueueItem // set while waiting/in-flight toward EC
+	icTask      *cluster.Task     // set while queued/running on the IC
+	downloading bool              // output handed to the download queue
+	done        bool
+
+	// EC phase timestamps for tracing.
+	scheduledAt float64
+	uploadDone  float64
+	computeDone float64
+}
+
+// Engine is one run's mutable state.
+type Engine struct {
+	cfg   Config
+	sched sched.Scheduler
+
+	eng       *sim.Engine
+	ic        *cluster.Cluster
+	ec        *cluster.Cluster
+	uplink    *netsim.Link
+	downlink  *netsim.Link
+	upQ       uploader
+	downQ     *netsim.Queue
+	upPred    *netsim.Predictor
+	downPred  *netsim.Predictor
+	upTuner   *netsim.Tuner
+	downTuner *netsim.Tuner
+	prober    *netsim.Prober
+	estimator *qrsm.Estimator
+
+	scaler *autoscaler
+	sites  []*ecSite
+
+	alloc     *job.Counter
+	seqNext   int
+	states    map[*job.Job]*jobState
+	records   *sla.Set
+	completed int
+	total     int
+	chunks    int
+
+	uploadedBytes   int64
+	downloadedBytes int64
+}

@@ -1,0 +1,535 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/sched"
+	"cloudburst/internal/sla"
+	"cloudburst/internal/workload"
+)
+
+// smallWorkload builds a fast 3-batch workload for integration tests.
+func smallWorkload(bucket workload.Bucket, seed int64) []workload.Batch {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket:           bucket,
+		Batches:          3,
+		MeanJobsPerBatch: 6,
+		Seed:             seed,
+	})
+	return g.Generate()
+}
+
+func mustRun(t *testing.T, cfg Config, s sched.Scheduler, batches []workload.Batch) *Result {
+	t.Helper()
+	res, err := Run(cfg, s, batches)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", s.Name(), err)
+	}
+	return res
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 1)
+	for _, s := range []sched.Scheduler{
+		sched.ICOnly{}, sched.Greedy{}, sched.GreedyTracking{},
+		sched.OrderPreserving{}, &sched.SIBS{},
+	} {
+		res := mustRun(t, Config{NetSeed: 1}, s, batches)
+		if res.Records.Len() != res.Jobs {
+			t.Fatalf("%s: records %d != jobs %d", s.Name(), res.Records.Len(), res.Jobs)
+		}
+		if res.Jobs < res.OriginalJobs {
+			t.Fatalf("%s: fewer completions than submissions", s.Name())
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%s: non-positive makespan", s.Name())
+		}
+		// Every sequence slot 0..Jobs-1 completed exactly once.
+		recs := res.Records.Records()
+		for i, r := range recs {
+			if r.Seq != i {
+				t.Fatalf("%s: seq gap at %d (got %d)", s.Name(), i, r.Seq)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	// Heavy enough that jobs actually burst and the network matters.
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.LargeBias, Batches: 4, MeanJobsPerBatch: 12, Seed: 2,
+	})
+	batches := g.Generate()
+	a := mustRun(t, Config{NetSeed: 5}, sched.OrderPreserving{}, batches)
+	b := mustRun(t, Config{NetSeed: 5}, sched.OrderPreserving{}, batches)
+	if a.Makespan != b.Makespan || a.BurstRatio != b.BurstRatio {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v",
+			a.Makespan, a.BurstRatio, b.Makespan, b.BurstRatio)
+	}
+	ra, rb := a.Records.Records(), b.Records.Records()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	c := mustRun(t, Config{NetSeed: 6}, sched.OrderPreserving{}, batches)
+	if a.Makespan == c.Makespan && a.Records.Records()[0] == c.Records.Records()[0] {
+		// Different network seeds may coincide on makespan, but identical
+		// trajectories would mean the seed is ignored.
+		same := true
+		rc := c.Records.Records()
+		for i := range ra {
+			if ra[i] != rc[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("network seed has no effect")
+		}
+	}
+}
+
+func TestICOnlyNeverUsesNetwork(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 3)
+	res := mustRun(t, Config{NetSeed: 1, ProbePeriod: -1}, sched.ICOnly{}, batches)
+	if res.BurstRatio != 0 || res.ECUtil != 0 {
+		t.Fatalf("ICOnly touched the EC: burst=%v ecU=%v", res.BurstRatio, res.ECUtil)
+	}
+	if res.UploadedBytes != 0 || res.DownloadedBytes != 0 {
+		t.Fatal("ICOnly moved bytes")
+	}
+}
+
+func TestBurstingSchedulersUseEC(t *testing.T) {
+	// Overload the IC so there is real pressure to burst.
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.UniformMix, Batches: 4, MeanJobsPerBatch: 12, Seed: 4,
+	})
+	batches := g.Generate()
+	for _, s := range []sched.Scheduler{sched.Greedy{}, sched.OrderPreserving{}, &sched.SIBS{}} {
+		res := mustRun(t, Config{NetSeed: 1}, s, batches)
+		if res.BurstRatio == 0 {
+			t.Fatalf("%s never bursted under load", s.Name())
+		}
+		if res.UploadedBytes == 0 || res.DownloadedBytes == 0 {
+			t.Fatalf("%s bursted without moving bytes", s.Name())
+		}
+		if res.ECUtil <= 0 {
+			t.Fatalf("%s: EC utilization is zero despite bursting", s.Name())
+		}
+	}
+}
+
+func TestECCompletionsIncludeRoundTrip(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 5)
+	res := mustRun(t, Config{NetSeed: 1}, sched.Greedy{}, batches)
+	for _, r := range res.Records.Records() {
+		if r.Where == sla.EC {
+			// An EC completion cannot be faster than its compute alone —
+			// the round trip adds transfer time.
+			if r.CompletedAt-r.ArrivalTime <= 0 {
+				t.Fatalf("EC job %d completed instantly", r.JobID)
+			}
+		}
+	}
+}
+
+func TestMakespanConsistentWithRecords(t *testing.T) {
+	batches := smallWorkload(workload.SmallBias, 6)
+	res := mustRun(t, Config{NetSeed: 2}, sched.OrderPreserving{}, batches)
+	if math.Abs(res.Makespan-res.Records.Makespan()) > 1e-9 {
+		t.Fatal("result makespan disagrees with record set")
+	}
+	if math.Abs(res.Speedup-res.Records.Speedup(res.TSeq)) > 1e-9 {
+		t.Fatal("result speedup disagrees with record set")
+	}
+	if res.TSeq != workload.TotalStdSeconds(batches) {
+		t.Fatal("TSeq wrong")
+	}
+}
+
+func TestChunkingGrowsQueue(t *testing.T) {
+	// A batch mixing tiny and huge jobs must trigger Op's chunk pass.
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.UniformMix, Batches: 4, MeanJobsPerBatch: 10, Seed: 7,
+	})
+	batches := g.Generate()
+	res := mustRun(t, Config{NetSeed: 1}, sched.OrderPreserving{}, batches)
+	if res.ChunksCreated == 0 {
+		t.Fatal("Op never chunked a mixed workload")
+	}
+	if res.Jobs != res.OriginalJobs+res.ChunksCreated-countChunkedParents(res) {
+		// Each chunked parent is replaced by its chunks: jobs = originals
+		// − parents + chunks. We don't export parent count, so just check
+		// the queue grew.
+		if res.Jobs <= res.OriginalJobs {
+			t.Fatalf("chunking did not grow the queue: %d vs %d", res.Jobs, res.OriginalJobs)
+		}
+	}
+}
+
+// countChunkedParents is a placeholder to document the queue-size identity;
+// parent counts are not exported, so the test above falls back to a growth
+// check.
+func countChunkedParents(*Result) int { return -1 }
+
+func TestUtilizationBounds(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 8)
+	for _, s := range []sched.Scheduler{sched.ICOnly{}, sched.Greedy{}, &sched.SIBS{}} {
+		res := mustRun(t, Config{NetSeed: 3}, s, batches)
+		if res.ICUtil < 0 || res.ICUtil > 1+1e-9 {
+			t.Fatalf("%s IC util %v out of [0,1]", s.Name(), res.ICUtil)
+		}
+		if res.ECUtil < 0 || res.ECUtil > 1+1e-9 {
+			t.Fatalf("%s EC util %v out of [0,1]", s.Name(), res.ECUtil)
+		}
+	}
+}
+
+func TestProbingFeedsPredictor(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 9)
+	res := mustRun(t, Config{NetSeed: 1, ProbePeriod: 120}, sched.ICOnly{}, batches)
+	if res.ProbeCount == 0 {
+		t.Fatal("no probes ran")
+	}
+	if res.PredictorObservations < res.ProbeCount {
+		t.Fatal("probe results did not reach the predictor")
+	}
+	off := mustRun(t, Config{NetSeed: 1, ProbePeriod: -1}, sched.ICOnly{}, batches)
+	if off.ProbeCount != 0 || off.PredictorObservations != 0 {
+		t.Fatal("probing not disabled")
+	}
+}
+
+func TestQRSMLearnsDuringRun(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 10)
+	res := mustRun(t, Config{NetSeed: 1}, sched.ICOnly{}, batches)
+	if res.QRSMR2 <= 0.5 {
+		t.Fatalf("QRSM R² = %v, expected a fitted model (bootstrap + online)", res.QRSMR2)
+	}
+}
+
+func TestBootstrapDisabled(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 11)
+	// Without bootstrap the estimator starts from the size heuristic; the
+	// run must still complete.
+	res := mustRun(t, Config{NetSeed: 1, BootstrapN: -1}, sched.OrderPreserving{}, batches)
+	if res.Records.Len() == 0 {
+		t.Fatal("run with cold estimator failed")
+	}
+}
+
+func TestMapWaysParallelism(t *testing.T) {
+	batches := smallWorkload(workload.LargeBias, 12)
+	serial := mustRun(t, Config{NetSeed: 1}, sched.Greedy{}, batches)
+	parallel := mustRun(t, Config{NetSeed: 1, MapWays: 2, MergeFraction: 0.05}, sched.Greedy{}, batches)
+	if parallel.Records.Len() != serial.Records.Len() {
+		t.Fatal("map parallelism changed completion count")
+	}
+}
+
+func TestReschedulingCompletesAndCanMoveJobs(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.LargeBias, Batches: 4, MeanJobsPerBatch: 10, Seed: 13,
+	})
+	batches := g.Generate()
+	plain := mustRun(t, Config{NetSeed: 2}, sched.OrderPreserving{}, batches)
+	resched := mustRun(t, Config{NetSeed: 2, Rescheduling: true}, sched.OrderPreserving{}, batches)
+	if resched.Records.Len() != plain.Records.Len() {
+		t.Fatal("rescheduling lost or duplicated jobs")
+	}
+	// Steal-back converts EC placements to IC at the tail of the run, so
+	// the burst ratio must not grow and usually shrinks; either way the
+	// run must stay correct.
+	if resched.Makespan <= 0 {
+		t.Fatal("rescheduled run broken")
+	}
+}
+
+func TestTimeoutOnImpossibleNetwork(t *testing.T) {
+	// A nearly dead network with a scheduler that bursts anyway (Greedy
+	// with a huge IC backlog makes EC look attractive via the optimistic
+	// prior) should trip the virtual-time valve rather than hang. Use a
+	// tiny MaxVirtualTime to keep the test fast.
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.LargeBias, Batches: 1, MeanJobsPerBatch: 4, Seed: 14,
+	})
+	batches := g.Generate()
+	cfg := Config{
+		NetSeed:         1,
+		UploadProfile:   netsim.ConstantProfile(10), // 10 B/s
+		DownloadProfile: netsim.ConstantProfile(10),
+		PriorBW:         1e9, // wildly optimistic prior forces bursting
+		ProbePeriod:     -1,  // no probes: the lie is never corrected
+		MaxVirtualTime:  3600,
+		ICMachines:      1,
+	}
+	_, err := Run(cfg, sched.Greedy{}, batches)
+	if err == nil {
+		t.Skip("workload completed within budget; valve not exercised")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestSIBSBoundsReachUploader(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.UniformMix, Batches: 4, MeanJobsPerBatch: 12, Seed: 15,
+	})
+	batches := g.Generate()
+	s := &sched.SIBS{}
+	res := mustRun(t, Config{NetSeed: 1}, s, batches)
+	if _, _, ok := s.Bounds(); !ok {
+		t.Fatal("SIBS computed no bounds over a loaded uniform workload")
+	}
+	if res.BurstRatio == 0 {
+		t.Fatal("SIBS never bursted")
+	}
+}
+
+func TestSeqOrderMatchesDecisionOrder(t *testing.T) {
+	// Seq must be assigned in queue order: within a batch, jobs earlier in
+	// the decision list get lower seq; later batches continue the count.
+	batches := smallWorkload(workload.UniformMix, 16)
+	res := mustRun(t, Config{NetSeed: 1}, sched.ICOnly{}, batches)
+	recs := res.Records.Records()
+	// For ICOnly (no chunking) seq order must equal job-ID order.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].JobID < recs[i-1].JobID {
+			t.Fatalf("seq order broke job order: %d after %d", recs[i].JobID, recs[i-1].JobID)
+		}
+	}
+}
+
+func TestFlowTimePositive(t *testing.T) {
+	batches := smallWorkload(workload.SmallBias, 17)
+	res := mustRun(t, Config{NetSeed: 1}, sched.Greedy{}, batches)
+	if res.Records.MeanFlowTime() <= 0 {
+		t.Fatal("mean flow time must be positive")
+	}
+}
+
+func TestAutoscalerGrowsUnderLoad(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.UniformMix, Batches: 5, MeanJobsPerBatch: 15, Seed: 20,
+	})
+	batches := g.Generate()
+	cfg := Config{
+		NetSeed:    3,
+		ECMachines: 1,
+		Autoscale:  &AutoscaleConfig{Min: 1, Max: 6, BootDelay: 60, Period: 30, TargetWait: 120},
+	}
+	res := mustRun(t, cfg, sched.OrderPreserving{}, batches)
+	if res.ECPeakMachines <= 1 {
+		t.Fatalf("fleet never grew: peak %d", res.ECPeakMachines)
+	}
+	if res.ECBoots == 0 {
+		t.Fatal("no boots recorded")
+	}
+	if res.ECMachineSeconds <= 0 {
+		t.Fatal("no rented machine time")
+	}
+	// Rented time must be well below the max fleet held for the whole run
+	// (otherwise the scaler never drained).
+	maxRent := float64(res.ECPeakMachines) * res.Makespan
+	if res.ECMachineSeconds >= maxRent {
+		t.Fatalf("rented %v >= peak-fleet-forever %v", res.ECMachineSeconds, maxRent)
+	}
+}
+
+func TestAutoscalerIdleWorkloadStaysSmall(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.SmallBias, Batches: 2, MeanJobsPerBatch: 3, Seed: 21,
+	})
+	batches := g.Generate()
+	cfg := Config{
+		NetSeed:    3,
+		ECMachines: 1,
+		Autoscale:  &AutoscaleConfig{Min: 1, Max: 6},
+	}
+	res := mustRun(t, cfg, sched.OrderPreserving{}, batches)
+	if res.ECPeakMachines > 2 {
+		t.Fatalf("light load booted %d machines", res.ECPeakMachines)
+	}
+}
+
+func TestAutoscalerValidation(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{Batches: 1, MeanJobsPerBatch: 2, Seed: 22})
+	_, err := Run(Config{Autoscale: &AutoscaleConfig{Min: 5, Max: 2}}, sched.ICOnly{}, g.Generate())
+	if err == nil {
+		t.Fatal("invalid autoscale bounds accepted")
+	}
+}
+
+func TestFixedFleetMachineSeconds(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 23)
+	res := mustRun(t, Config{NetSeed: 1}, sched.ICOnly{}, batches)
+	// Fixed fleet of 2: rented seconds = 2 × elapsed window.
+	if res.ECMachineSeconds <= 0 || res.ECPeakMachines != 2 {
+		t.Fatalf("fixed-fleet accounting wrong: %v / %d", res.ECMachineSeconds, res.ECPeakMachines)
+	}
+	if res.ECBoots != 0 || res.ECDrains != 0 {
+		t.Fatal("fixed fleet recorded scaling events")
+	}
+}
+
+func TestRemoteSitesReceiveWork(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.UniformMix, Batches: 5, MeanJobsPerBatch: 15, Seed: 30,
+	})
+	batches := g.Generate()
+	single := mustRun(t, Config{NetSeed: 4}, sched.OrderPreserving{}, batches)
+	multi := mustRun(t, Config{
+		NetSeed: 4,
+		RemoteSites: []RemoteSiteConfig{
+			{Machines: 2}, // a second provider with its own default pipe
+		},
+	}, sched.OrderPreserving{}, batches)
+	if len(multi.SiteBursts) != 1 || len(multi.SiteUtils) != 1 {
+		t.Fatalf("site diagnostics missing: %+v / %+v", multi.SiteBursts, multi.SiteUtils)
+	}
+	if multi.SiteBursts[0] == 0 {
+		t.Fatal("second provider never used despite doubled capacity")
+	}
+	if multi.Jobs < single.Jobs-5 || multi.Jobs > single.Jobs+200 {
+		t.Fatalf("job accounting off: %d vs %d", multi.Jobs, single.Jobs)
+	}
+	// A second provider adds round-trip capacity: total bursts should rise
+	// and the makespan should not get meaningfully worse.
+	if multi.BurstRatio <= single.BurstRatio {
+		t.Fatalf("multi-site burst ratio %v not above single %v",
+			multi.BurstRatio, single.BurstRatio)
+	}
+	if multi.Makespan > single.Makespan*1.1 {
+		t.Fatalf("second provider hurt makespan: %v vs %v", multi.Makespan, single.Makespan)
+	}
+}
+
+func TestRemoteSiteChoiceFollowsBandwidth(t *testing.T) {
+	// Give the remote site a far better pipe than the primary: the
+	// scheduler should route most bursts there.
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.UniformMix, Batches: 5, MeanJobsPerBatch: 15, Seed: 31,
+	})
+	batches := g.Generate()
+	res := mustRun(t, Config{
+		NetSeed:         5,
+		ProbePeriod:     60,                                 // learn the site difference before most batches arrive
+		UploadProfile:   netsim.ConstantProfile(150 * 1024), // starved primary
+		DownloadProfile: netsim.ConstantProfile(200 * 1024),
+		RemoteSites: []RemoteSiteConfig{{
+			Machines:        3,
+			UploadProfile:   netsim.DiurnalProfile(900*1024, 0.2),
+			DownloadProfile: netsim.DiurnalProfile(1200*1024, 0.2),
+		}},
+	}, sched.GreedyTracking{}, batches)
+	totalEC := 0
+	for _, r := range res.Records.Records() {
+		if r.Where == sla.EC {
+			totalEC++
+		}
+	}
+	if totalEC == 0 {
+		t.Skip("nothing bursted on this seed")
+	}
+	remote := res.SiteBursts[0]
+	primary := totalEC - remote
+	// With commits equalizing effective queue lengths, the slow primary
+	// still absorbs some jobs; the requirement is that the fast provider
+	// carries a substantial share, not a monopoly.
+	if remote < totalEC/3 {
+		t.Fatalf("scheduler ignored the faster provider: remote %d vs primary %d", remote, primary)
+	}
+	if res.SiteUtils[0] <= 0 {
+		t.Fatal("remote site did no work")
+	}
+}
+
+func TestRemoteSitesDeterministic(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.LargeBias, Batches: 3, MeanJobsPerBatch: 8, Seed: 32,
+	})
+	batches := g.Generate()
+	cfg := Config{NetSeed: 6, RemoteSites: []RemoteSiteConfig{{Machines: 2}}}
+	a := mustRun(t, cfg, sched.Greedy{}, batches)
+	b := mustRun(t, cfg, sched.Greedy{}, batches)
+	if a.Makespan != b.Makespan || a.SiteBursts[0] != b.SiteBursts[0] {
+		t.Fatal("multi-site run not deterministic")
+	}
+}
+
+func TestRunInspectSnapshots(t *testing.T) {
+	batches := smallWorkload(workload.UniformMix, 40)
+	var snaps []Snapshot
+	res, err := RunInspect(Config{NetSeed: 1}, sched.Greedy{}, batches, 120, func(s Snapshot) {
+		snaps = append(snaps, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots delivered")
+	}
+	prev := -1.0
+	for _, s := range snaps {
+		if s.Now <= prev {
+			t.Fatal("snapshots not time-ordered")
+		}
+		prev = s.Now
+		if s.UplinkCapacity <= 0 {
+			t.Fatal("snapshot missing link capacity")
+		}
+		if s.Completed < 0 || s.Completed > res.Jobs {
+			t.Fatalf("snapshot completed count %d out of range", s.Completed)
+		}
+	}
+	// Default period guard: non-positive period must not panic.
+	if _, err := RunInspect(Config{NetSeed: 1}, sched.ICOnly{}, batches, 0, func(Snapshot) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchAndECTraces(t *testing.T) {
+	g := workload.MustNewGenerator(workload.Config{
+		Bucket: workload.UniformMix, Batches: 4, MeanJobsPerBatch: 12, Seed: 41,
+	})
+	batches := g.Generate()
+	var batchTraces []BatchTrace
+	var ecTraces []ECTrace
+	cfg := Config{
+		NetSeed: 1,
+		OnBatch: func(b BatchTrace) { batchTraces = append(batchTraces, b) },
+		OnECJob: func(e ECTrace) { ecTraces = append(ecTraces, e) },
+	}
+	res := mustRun(t, cfg, sched.Greedy{}, batches)
+	if len(batchTraces) != 4 {
+		t.Fatalf("batch traces = %d, want 4", len(batchTraces))
+	}
+	totalDecisions := 0
+	for i, b := range batchTraces {
+		if b.Batch != i {
+			t.Fatalf("trace %d has batch %d", i, b.Batch)
+		}
+		if b.PredUpBW <= 0 || b.PredDownBW <= 0 {
+			t.Fatal("trace missing predictions")
+		}
+		totalDecisions += b.Decisions
+	}
+	if totalDecisions != res.Jobs {
+		t.Fatalf("trace decisions %d != jobs %d", totalDecisions, res.Jobs)
+	}
+	burstedJobs := int(res.BurstRatio*float64(res.Jobs) + 0.5)
+	if len(ecTraces) != burstedJobs {
+		t.Fatalf("EC traces %d != bursted %d", len(ecTraces), burstedJobs)
+	}
+	for _, e := range ecTraces {
+		if !(e.ScheduledAt <= e.UploadDone && e.UploadDone <= e.ComputeDone && e.ComputeDone <= e.Completed) {
+			t.Fatalf("EC phases out of order: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"cloudburst/internal/sched"
+	"cloudburst/internal/sim"
+	"cloudburst/internal/workload"
+)
+
+// Snapshot is a periodic observation of the live pipeline, for debugging
+// and the netcalibration example.
+type Snapshot struct {
+	Now            float64
+	UplinkCapacity float64
+	UplinkActive   int
+	UplinkServed   float64
+	DownlinkServed float64
+	QueueBacklogs  [3]float64
+	UpThreads      int
+	DownThreads    int
+	ICQueue        int
+	ECQueue        int
+	Completed      int
+}
+
+// RunInspect is Run with a periodic snapshot callback every period seconds
+// of virtual time.
+func RunInspect(cfg Config, s sched.Scheduler, batches []workload.Batch, period float64, fn func(Snapshot)) (*Result, error) {
+	if period <= 0 {
+		period = 300
+	}
+	inner := cfg
+	hook := func(e *Engine) {
+		sim.NewTicker(e.eng, period, func(now float64) {
+			qs, qm, ql := e.upQ.QueueBacklogs()
+			fn(Snapshot{
+				Now:            now,
+				UplinkCapacity: e.uplink.Capacity(),
+				UplinkActive:   e.uplink.ActiveTransfers(),
+				UplinkServed:   e.uplink.BytesServed(),
+				DownlinkServed: e.downlink.BytesServed(),
+				QueueBacklogs:  [3]float64{qs, qm, ql},
+				UpThreads:      e.upTuner.Threads(),
+				DownThreads:    e.downTuner.Threads(),
+				ICQueue:        e.ic.QueueLength(),
+				ECQueue:        e.ec.QueueLength(),
+				Completed:      e.completed,
+			})
+		})
+	}
+	return runWithHook(inner, s, batches, hook)
+}

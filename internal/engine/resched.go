@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"cloudburst/internal/sched"
+)
+
+// reschedule implements the periodic strategies sketched in Sec. IV-D for
+// mitigating estimation errors:
+//
+//  1. Steal-back: when the IC has free machines, it reclaims jobs still
+//     waiting in the upload queue (their transfer has not started, so
+//     re-running them locally is free) and executes them internally.
+//  2. Idle pull: when the upload path is completely idle and the IC still
+//     has queued work, the last queued IC job that satisfies the slack
+//     criterion is pulled out and bursted.
+func (e *Engine) reschedule() {
+	e.stealBack()
+	e.idlePull()
+}
+
+func (e *Engine) stealBack() {
+	for e.ic.QueueLength() == 0 && e.ic.RunningTasks() < e.ic.Size() {
+		it := e.upQ.StealWaiting()
+		if it == nil {
+			return
+		}
+		js := it.Meta.(*jobState)
+		js.uploadItem = nil
+		js.place = sched.PlaceIC
+		e.submitIC(js)
+	}
+}
+
+func (e *Engine) idlePull() {
+	if e.upQ.Busy() || e.upQ.Backlog() > 0 {
+		return
+	}
+	queued := e.ic.QueuedTasks()
+	if len(queued) == 0 {
+		return
+	}
+	st := e.state()
+	// Scan from the tail: the last job has the most slack.
+	for i := len(queued) - 1; i >= 0; i-- {
+		t := queued[i]
+		js, ok := e.states[t.Job]
+		if !ok || js.done {
+			continue
+		}
+		est := st.EstimateProc(t.Job.Features)
+		// EC round trip under current predictions, no queueing (the upload
+		// path is idle by precondition).
+		tec := float64(t.Job.InputSize)/st.PredictUploadBW(st.Now) +
+			est/st.ECSpeed +
+			float64(t.Job.OutputSize)/st.PredictDownloadBW(st.Now)
+		// Slack: everything else still owed to the IC, spread over its
+		// machines — if the round trip fits inside that, the pulled job is
+		// off the critical path.
+		slack := (st.ICBacklogStd - est) / (float64(st.ICMachines) * st.ICSpeed)
+		if tec <= slack {
+			if e.ic.Withdraw(t) {
+				js.icTask = nil
+				js.place = sched.PlaceEC
+				e.submitUpload(js)
+			}
+			return
+		}
+	}
+}

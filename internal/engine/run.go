@@ -1,0 +1,438 @@
+package engine
+
+import (
+	"fmt"
+
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/job"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/qrsm"
+	"cloudburst/internal/sched"
+	"cloudburst/internal/sim"
+	"cloudburst/internal/sla"
+	"cloudburst/internal/stats"
+	"cloudburst/internal/workload"
+)
+
+// Run executes the workload under the given scheduler and returns the SLA
+// summary. The run is fully deterministic for a fixed (config, scheduler,
+// workload) triple.
+func Run(cfg Config, s sched.Scheduler, batches []workload.Batch) (*Result, error) {
+	return runWithHook(cfg, s, batches, nil)
+}
+
+// runWithHook is Run with an optional post-build hook (used by RunInspect
+// to attach observers before the clock starts).
+func runWithHook(cfg Config, s sched.Scheduler, batches []workload.Batch, hook func(*Engine)) (*Result, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		sched:   s,
+		eng:     sim.NewEngine(),
+		states:  make(map[*job.Job]*jobState),
+		records: sla.NewSet(),
+	}
+	e.build()
+	if cfg.Autoscale != nil {
+		scaler, err := startAutoscaler(e, *cfg.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		e.scaler = scaler
+	}
+	if hook != nil {
+		hook(e)
+	}
+
+	// Allocate chunk IDs after the highest workload ID.
+	maxID := -1
+	for _, b := range batches {
+		for _, j := range b.Jobs {
+			if j.ID > maxID {
+				maxID = j.ID
+			}
+			e.total++
+		}
+	}
+	e.alloc = job.NewCounter(maxID + 1)
+
+	for _, b := range batches {
+		b := b
+		e.eng.Schedule(b.At, func() { e.onBatch(b) })
+	}
+
+	// Drive until every queue slot completes. Perpetual tickers (probes,
+	// rescheduling) keep the event queue non-empty, so termination is by
+	// completion count with a virtual-time safety valve.
+	for e.completed < e.total {
+		if !e.eng.Step() {
+			return nil, fmt.Errorf("engine: event queue drained with %d/%d jobs done", e.completed, e.total)
+		}
+		if e.eng.Now() > cfg.MaxVirtualTime {
+			return nil, fmt.Errorf("%w: %d/%d jobs done at t=%.0fs", ErrTimeout, e.completed, e.total, e.eng.Now())
+		}
+	}
+	if e.prober != nil {
+		e.prober.Stop()
+	}
+
+	return e.result(batches), nil
+}
+
+// build wires the substrates.
+func (e *Engine) build() {
+	cfg := e.cfg
+	netRNG := stats.NewRNG(cfg.NetSeed + 1)
+	e.ic = cluster.Uniform(e.eng, "ic", cfg.ICMachines, cfg.ICSpeed)
+	e.ec = cluster.Uniform(e.eng, "ec", cfg.ECMachines, cfg.ECSpeed)
+	e.uplink = netsim.NewLink(e.eng, netsim.LinkConfig{
+		Name:           "uplink",
+		Profile:        cfg.UploadProfile,
+		JitterCV:       cfg.JitterCV,
+		ResamplePeriod: cfg.ResamplePeriod,
+		Threads:        cfg.ThreadModel,
+		Outages:        cfg.Outages,
+	}, netRNG.Fork())
+	e.downlink = netsim.NewLink(e.eng, netsim.LinkConfig{
+		Name:           "downlink",
+		Profile:        cfg.DownloadProfile,
+		JitterCV:       cfg.JitterCV,
+		ResamplePeriod: cfg.ResamplePeriod,
+		Threads:        cfg.ThreadModel,
+		Outages:        cfg.Outages,
+	}, netRNG.Fork())
+	e.upPred = netsim.NewPredictor(cfg.PredictorSlots, cfg.PredictorAlpha, cfg.PriorBW)
+	e.downPred = netsim.NewPredictor(cfg.PredictorSlots, cfg.PredictorAlpha, cfg.PriorBW)
+	e.upTuner = netsim.NewTuner(cfg.ThreadModel, 8)
+	e.downTuner = netsim.NewTuner(cfg.ThreadModel, 8)
+
+	upMeasure := func(at, pathBW float64) { e.upPred.Observe(at, pathBW) }
+	if _, isSIBS := e.sched.(*sched.SIBS); isSIBS {
+		su := netsim.NewSplitUploader(e.eng, e.uplink, e.upTuner,
+			job.Bytes(50), job.Bytes(150))
+		su.Small.OnMeasure = upMeasure
+		su.Medium.OnMeasure = upMeasure
+		su.Large.OnMeasure = upMeasure
+		e.upQ = sibsUploader{su}
+	} else {
+		q := netsim.NewQueue(e.eng, "upload", e.uplink, e.upTuner, 1)
+		q.OnMeasure = upMeasure
+		e.upQ = singleUploader{q}
+	}
+	e.downQ = netsim.NewQueue(e.eng, "download", e.downlink, e.downTuner, 1)
+	e.downQ.OnMeasure = func(at, pathBW float64) { e.downPred.Observe(at, pathBW) }
+
+	if cfg.ProbePeriod > 0 {
+		e.prober = netsim.NewProber(e.eng, e.uplink, e.upPred, e.upTuner, netsim.ProberConfig{
+			Period: cfg.ProbePeriod,
+			Bytes:  cfg.ProbeBytes,
+		})
+	}
+
+	e.buildSites(netRNG)
+
+	e.estimator = qrsm.NewEstimator()
+	if cfg.BootstrapN > 0 {
+		fs, ys := workload.BootstrapSet(cfg.BootstrapSeed+7, cfg.BootstrapN, cfg.NoiseCV)
+		e.estimator.Bootstrap(fs, ys)
+	}
+
+	if cfg.Rescheduling {
+		sim.NewTicker(e.eng, cfg.ReschedulingPeriod, func(now float64) { e.reschedule() })
+	}
+}
+
+// state snapshots the observable system for the scheduler.
+//
+// Predicted transfer bandwidth is the learned path capacity capped by what
+// the uploader can actually drive: each queue moves one transfer at a time
+// at the tuned thread count's limit, so a single queue cannot exceed
+// Limit(threads) even on a fatter pipe, while the three SIBS queues can
+// reach up to three times that. This is the mechanism behind the paper's
+// claim that size-interval splitting "improves the utilization of the
+// upload bandwidth by using parallel threads".
+func (e *Engine) state() *sched.State {
+	s, m, l := e.upQ.QueueBacklogs()
+	upLimit := e.cfg.ThreadModel.Limit(e.upTuner.Threads())
+	downLimit := e.cfg.ThreadModel.Limit(e.downTuner.Threads())
+	// Effective upload parallelism: the interval count given the current
+	// bounds, discounted by how the queued bytes actually spread across
+	// the queues — when everything single-files through one interval the
+	// path behaves like one thread-limited channel no matter how many
+	// intervals exist.
+	upQueues := float64(e.upQ.Channels())
+	if tot := s + m + l; tot > 0 {
+		mx := s
+		if m > mx {
+			mx = m
+		}
+		if l > mx {
+			mx = l
+		}
+		if spread := tot / mx; spread < upQueues {
+			upQueues = spread
+		}
+	}
+	if upQueues < 1 {
+		upQueues = 1
+	}
+	capBW := func(pred, limit, queues float64) float64 {
+		if lim := limit * queues; pred > lim {
+			return lim
+		}
+		return pred
+	}
+	// Estimated compute of jobs still in the upload phase (dispatched to
+	// the EC but invisible to its cluster backlog), and output bytes that
+	// will hit the downlink but are not queued there yet.
+	var ecPending, downPending float64
+	for _, js := range e.states {
+		if js.place != sched.PlaceEC || js.done || js.site != 0 {
+			continue
+		}
+		if js.uploadItem != nil {
+			ecPending += e.estimator.Estimate(js.j.Features)
+		}
+		if !js.downloading {
+			downPending += float64(js.j.OutputSize)
+		}
+	}
+	return &sched.State{
+		Now:             e.eng.Now(),
+		ICBacklogStd:    e.ic.BacklogStdSeconds(),
+		ICMachines:      e.ic.Size(),
+		ICSpeed:         e.cfg.ICSpeed,
+		ECBacklogStd:    e.ec.BacklogStdSeconds(),
+		ECMachines:      e.ec.Size(),
+		ECSpeed:         e.cfg.ECSpeed,
+		ECPendingStd:    ecPending,
+		DownloadPending: downPending,
+		UploadChannels:  int(upQueues + 0.5),
+		UploadBacklog:   e.upQ.Backlog(),
+		DownloadBacklog: e.downQ.Backlog(),
+		UploadQueues:    [3]float64{s, m, l},
+		PredictUploadBW: func(t float64) float64 {
+			return capBW(e.upPred.Predict(t), upLimit, upQueues)
+		},
+		PredictDownloadBW: func(t float64) float64 {
+			return capBW(e.downPred.Predict(t), downLimit, 1)
+		},
+		EstimateProc: func(f job.Features) float64 {
+			return e.estimator.Estimate(f)
+		},
+		RemoteSites: e.siteStates(),
+	}
+}
+
+// onBatch is step (3)-(4) of the architecture: the controller picks up the
+// batch and invokes the scheduler.
+func (e *Engine) onBatch(b workload.Batch) {
+	before := e.alloc.Peek()
+	st := e.state()
+	decisions := e.sched.Schedule(b.Jobs, st, e.alloc)
+	e.chunks += e.alloc.Peek() - before
+	e.total += len(decisions) - len(b.Jobs) // chunking grew the queue
+
+	if e.cfg.OnBatch != nil {
+		bursted := 0
+		for _, d := range decisions {
+			if d.Place == sched.PlaceEC {
+				bursted++
+			}
+		}
+		e.cfg.OnBatch(BatchTrace{
+			Now:             st.Now,
+			Batch:           b.Index,
+			Decisions:       len(decisions),
+			Bursted:         bursted,
+			ICBacklogStd:    st.ICBacklogStd,
+			UploadBacklog:   st.UploadBacklog,
+			ECPendingStd:    st.ECPendingStd,
+			DownloadPending: st.DownloadPending,
+			PredUpBW:        st.PredictUploadBW(st.Now),
+			PredDownBW:      st.PredictDownloadBW(st.Now),
+			Threads:         e.upTuner.Threads(),
+		})
+	}
+
+	// SIBS publishes new size-interval bounds per batch.
+	if sb, ok := e.sched.(*sched.SIBS); ok {
+		if sBound, mBound, valid := sb.Bounds(); valid {
+			e.upQ.SetBounds(sBound, mBound)
+		}
+	}
+
+	for _, d := range decisions {
+		js := &jobState{j: d.Job, seq: e.seqNext, place: d.Place}
+		e.seqNext++
+		e.states[d.Job] = js
+		switch {
+		case d.Place == sched.PlaceIC:
+			e.submitIC(js)
+		case d.Site > 0 && d.Site <= len(e.sites):
+			js.site = d.Site
+			e.submitUploadSite(js, e.sites[d.Site-1])
+		default:
+			e.submitUpload(js)
+		}
+	}
+}
+
+// submitIC runs the job on the internal cloud; its output is locally
+// available the moment processing ends.
+func (e *Engine) submitIC(js *jobState) {
+	t := &cluster.Task{
+		Job:        js.j,
+		StdSeconds: js.j.TrueProcTime,
+		OnDone: func(at float64, t *cluster.Task, m *cluster.Machine) {
+			js.icTask = nil
+			e.observeProc(js.j, at-t.StartedAt, m.Speed)
+			e.complete(js, at, sla.IC)
+		},
+	}
+	js.icTask = t
+	e.ic.Submit(t)
+}
+
+// submitUpload starts the EC path: upload, remote compute, download.
+func (e *Engine) submitUpload(js *jobState) {
+	js.scheduledAt = e.eng.Now()
+	it := &netsim.QueueItem{
+		Bytes: js.j.InputSize,
+		Meta:  js,
+		OnDone: func(at float64, it *netsim.QueueItem, bw float64) {
+			js.uploadItem = nil
+			js.uploadDone = at
+			e.uploadedBytes += it.Bytes
+			e.submitEC(js)
+		},
+	}
+	js.uploadItem = it
+	e.upQ.Enqueue(it)
+}
+
+func (e *Engine) submitEC(js *jobState) {
+	if e.cfg.MapWays > 1 {
+		start := e.eng.Now()
+		cluster.MapReduceJob(e.ec, js.j, js.j.TrueProcTime, e.cfg.MapWays, e.cfg.MergeFraction,
+			func(at float64) {
+				e.observeProc(js.j, at-start, e.cfg.ECSpeed*float64(e.cfg.MapWays))
+				e.submitDownload(js, at)
+			})
+		return
+	}
+	e.ec.Submit(&cluster.Task{
+		Job:        js.j,
+		StdSeconds: js.j.TrueProcTime,
+		OnDone: func(at float64, t *cluster.Task, m *cluster.Machine) {
+			e.observeProc(js.j, at-t.StartedAt, m.Speed)
+			e.submitDownload(js, at)
+		},
+	})
+}
+
+func (e *Engine) submitDownload(js *jobState, at float64) {
+	js.downloading = true
+	js.computeDone = at
+	e.downQ.Enqueue(&netsim.QueueItem{
+		Bytes: js.j.OutputSize,
+		Meta:  js,
+		OnDone: func(doneAt float64, it *netsim.QueueItem, bw float64) {
+			e.downloadedBytes += it.Bytes
+			e.complete(js, doneAt, sla.EC)
+			if e.cfg.OnECJob != nil {
+				e.cfg.OnECJob(ECTrace{
+					JobID:       js.j.ID,
+					Seq:         js.seq,
+					InputSize:   js.j.InputSize,
+					OutputSize:  js.j.OutputSize,
+					ScheduledAt: js.scheduledAt,
+					UploadDone:  js.uploadDone,
+					ComputeDone: js.computeDone,
+					Completed:   doneAt,
+				})
+			}
+		},
+	})
+}
+
+// observeProc feeds the QRSM with the measured processing time normalized
+// to a standard machine. For map-parallel execution the wall time is scaled
+// by the effective parallel speed, approximating the per-job signal the
+// prototype logs.
+func (e *Engine) observeProc(j *job.Job, wallSeconds, speed float64) {
+	if wallSeconds <= 0 || speed <= 0 {
+		return
+	}
+	e.estimator.Observe(j.Features, wallSeconds*speed)
+}
+
+// complete lands a finished output in the result queue.
+func (e *Engine) complete(js *jobState, at float64, where sla.Where) {
+	if js.done {
+		return
+	}
+	js.done = true
+	e.completed++
+	e.records.Add(sla.Record{
+		Seq:         js.seq,
+		JobID:       js.j.ID,
+		BatchID:     js.j.BatchID,
+		OutputSize:  js.j.OutputSize,
+		ArrivalTime: js.j.ArrivalTime,
+		CompletedAt: at,
+		Where:       where,
+	})
+}
+
+// result assembles the summary after the run.
+func (e *Engine) result(batches []workload.Batch) *Result {
+	end := 0.0
+	for _, r := range e.records.Records() {
+		if r.CompletedAt > end {
+			end = r.CompletedAt
+		}
+	}
+	tseq := workload.TotalStdSeconds(batches)
+	r := &Result{
+		Scheduler:             e.sched.Name(),
+		Records:               e.records,
+		TSeq:                  tseq,
+		Makespan:              e.records.Makespan(),
+		Speedup:               e.records.Speedup(tseq),
+		BurstRatio:            e.records.BurstRatio(),
+		ICUtil:                e.ic.UtilizationAt(end),
+		ECUtil:                e.ecUtilAt(end),
+		Jobs:                  e.records.Len(),
+		OriginalJobs:          workload.TotalJobs(batches),
+		ChunksCreated:         e.chunks,
+		UploadedBytes:         e.uploadedBytes,
+		DownloadedBytes:       e.downloadedBytes,
+		FinalThreads:          e.upTuner.Threads(),
+		QRSMR2:                e.estimator.GlobalModel().R2(),
+		PredictorObservations: e.upPred.Observations(),
+	}
+	if e.prober != nil {
+		r.ProbeCount = e.prober.Count()
+	}
+	for _, site := range e.sites {
+		r.SiteBursts = append(r.SiteBursts, site.bursts)
+		r.SiteUtils = append(r.SiteUtils, site.cluster.UtilizationAt(end))
+	}
+	r.ECMachineSeconds = e.ec.MachineSeconds(end)
+	r.ECPeakMachines = e.ec.PeakMachines()
+	if e.scaler != nil {
+		r.ECBoots = e.scaler.bootCount
+		r.ECDrains = e.scaler.drainCount
+	}
+	return r
+}
+
+// ecUtilAt picks the utilization basis: rented machine-time under
+// autoscaling, the fixed-fleet definition (eq. 9) otherwise.
+func (e *Engine) ecUtilAt(end float64) float64 {
+	if e.scaler != nil {
+		return e.ec.UtilizationRented(end)
+	}
+	return e.ec.UtilizationAt(end)
+}

@@ -1,0 +1,101 @@
+package job
+
+import (
+	"fmt"
+	"math"
+)
+
+// IDAllocator hands out fresh job IDs. Chunking creates new jobs whose IDs
+// must continue the global arrival order, so the allocator is owned by the
+// engine and passed in.
+type IDAllocator interface {
+	NextID() int
+}
+
+// Chunk implements the paper's pdfchunk operation: it splits a large job
+// into n roughly equal pieces at page granularity, preserving totals.
+// Input size, output size, pages, images, and true processing time are
+// divided proportionally (document jobs are embarrassingly parallel, so
+// compute splits linearly); per-page characteristics (resolution, color,
+// ratios) are inherited.
+//
+// The chunks inherit the parent's batch and arrival time, record the parent
+// ID, and receive fresh IDs from alloc in order. n is clamped to the number
+// of pages (a one-page document cannot be split). n <= 1 returns the job
+// unchanged as a single-element slice.
+func Chunk(j *Job, n int, alloc IDAllocator) []*Job {
+	if n <= 1 {
+		return []*Job{j}
+	}
+	if pages := int(j.Features.Pages); pages >= 1 && n > pages {
+		n = pages
+	}
+	if n <= 1 {
+		return []*Job{j}
+	}
+	out := make([]*Job, 0, n)
+	var inLeft, outLeft = j.InputSize, j.OutputSize
+	procLeft := j.TrueProcTime
+	pagesLeft := j.Features.Pages
+	imagesLeft := j.Features.Images
+	for i := 0; i < n; i++ {
+		remaining := n - i
+		in := inLeft / int64(remaining)
+		outSz := outLeft / int64(remaining)
+		proc := procLeft / float64(remaining)
+		pg := pagesLeft / float64(remaining)
+		img := imagesLeft / float64(remaining)
+		if i == n-1 { // last chunk absorbs rounding remainders
+			in, outSz, proc, pg, img = inLeft, outLeft, procLeft, pagesLeft, imagesLeft
+		}
+		f := j.Features
+		f.SizeMB = MB(in)
+		f.Pages = pg
+		f.Images = img
+		c := &Job{
+			ID:           alloc.NextID(),
+			ParentID:     j.ID,
+			BatchID:      j.BatchID,
+			ArrivalTime:  j.ArrivalTime,
+			InputSize:    in,
+			OutputSize:   outSz,
+			Features:     f,
+			TrueProcTime: proc,
+		}
+		out = append(out, c)
+		inLeft -= in
+		outLeft -= outSz
+		procLeft -= proc
+		pagesLeft -= pg
+		imagesLeft -= img
+	}
+	return out
+}
+
+// ChunkToSize splits j into ceil(size/target) pieces so that each chunk's
+// input is at most roughly target bytes. This is the form Algorithm 2 uses:
+// large jobs are cut down until their size no longer dominates the queue's
+// variance.
+func ChunkToSize(j *Job, target int64, alloc IDAllocator) []*Job {
+	if target <= 0 {
+		panic(fmt.Sprintf("job: chunk target %d must be positive", target))
+	}
+	n := int(math.Ceil(float64(j.InputSize) / float64(target)))
+	return Chunk(j, n, alloc)
+}
+
+// Counter is a trivial IDAllocator counting up from a starting value.
+type Counter struct{ next int }
+
+// NewCounter returns a Counter whose first NextID is start.
+func NewCounter(start int) *Counter { return &Counter{next: start} }
+
+// NextID returns the next ID and advances the counter.
+func (c *Counter) NextID() int {
+	id := c.next
+	c.next++
+	return id
+}
+
+// Peek returns the ID the next call to NextID would produce.
+func (c *Counter) Peek() int { return c.next }

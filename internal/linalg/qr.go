@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a system is numerically rank-deficient.
+var ErrSingular = errors.New("linalg: matrix is singular or rank-deficient")
+
+// QR holds a Householder QR factorization A = Q*R of an m×n matrix with
+// m >= n. Q is stored implicitly as Householder vectors in the lower
+// trapezoid of qr; R occupies the upper triangle.
+type QR struct {
+	qr   *Matrix
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// NewQR factors a (m×n, m>=n). The input is not modified.
+func NewQR(a *Matrix) *QR {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("linalg: QR needs rows >= cols, got %dx%d", a.Rows, a.Cols))
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rd := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		col := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			col[i-k] = qr.At(i, k)
+		}
+		nrm := Norm2(col)
+		if nrm == 0 {
+			rd[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries relative to
+// the largest one.
+func (q *QR) FullRank() bool {
+	var maxd float64
+	for _, d := range q.rd {
+		if math.Abs(d) > maxd {
+			maxd = math.Abs(d)
+		}
+	}
+	if maxd == 0 {
+		return false
+	}
+	tol := maxd * 1e-12 * float64(q.m)
+	for _, d := range q.rd {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ||A*x - b||₂.
+// b must have length m. It returns ErrSingular for rank-deficient A.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != q.m {
+		panic(fmt.Sprintf("linalg: QR solve rhs length %d, want %d", len(b), q.m))
+	}
+	if !q.FullRank() {
+		return nil, ErrSingular
+	}
+	y := make([]float64, q.m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < q.n; k++ {
+		if q.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < q.m; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s = -s / q.qr.At(k, k)
+		for i := k; i < q.m; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back-substitute R*x = y[:n].
+	x := make([]float64, q.n)
+	for k := q.n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < q.n; j++ {
+			s -= q.qr.At(k, j) * x[j]
+		}
+		x[k] = s / q.rd[k]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A*x − b||₂ by QR. For rank-deficient systems it
+// returns ErrSingular; callers that need a solution anyway should use
+// RidgeLeastSquares.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return NewQR(a).Solve(b)
+}
+
+// RidgeLeastSquares solves min ||A*x − b||₂² + lambda*||x||₂² by augmenting A
+// with sqrt(lambda)*I. Any lambda > 0 makes the system full rank, which is
+// how the QRSM fit stays stable when document features are collinear.
+func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		panic("linalg: negative ridge lambda")
+	}
+	if lambda == 0 {
+		return LeastSquares(a, b)
+	}
+	m, n := a.Rows, a.Cols
+	aug := NewMatrix(m+n, n)
+	copy(aug.Data[:m*n], a.Data)
+	s := math.Sqrt(lambda)
+	for i := 0; i < n; i++ {
+		aug.Set(m+i, i, s)
+	}
+	rhs := make([]float64, m+n)
+	copy(rhs, b)
+	return NewQR(aug).Solve(rhs)
+}
+
+// SolveSquare solves the square system A*x = b via QR (stable for the small
+// systems used here).
+func SolveSquare(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("linalg: SolveSquare needs square matrix, got %dx%d", a.Rows, a.Cols))
+	}
+	return LeastSquares(a, b)
+}

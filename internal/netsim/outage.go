@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"fmt"
+
+	"cloudburst/internal/stats"
+)
+
+// OutageModel injects bandwidth-throttling episodes into a link: at
+// exponentially distributed intervals the link's capacity is multiplied by
+// ThrottleFactor for an exponentially distributed duration. A factor of 0
+// is a hard outage; 0.1 models severe ISP throttling — both phenomena the
+// paper lists among the causes of sporadic bandwidth variation.
+type OutageModel struct {
+	MeanTimeBetween float64 // mean seconds from recovery to the next episode
+	MeanDuration    float64 // mean episode length in seconds
+	ThrottleFactor  float64 // capacity multiplier during an episode, in [0,1)
+}
+
+// Validate returns an error for non-sensical parameters.
+func (o OutageModel) Validate() error {
+	switch {
+	case o.MeanTimeBetween <= 0:
+		return fmt.Errorf("netsim: outage MTBF %v must be positive", o.MeanTimeBetween)
+	case o.MeanDuration <= 0:
+		return fmt.Errorf("netsim: outage duration %v must be positive", o.MeanDuration)
+	case o.ThrottleFactor < 0 || o.ThrottleFactor >= 1:
+		return fmt.Errorf("netsim: throttle factor %v out of [0,1)", o.ThrottleFactor)
+	}
+	return nil
+}
+
+// outageState tracks the live episode schedule on a link. Transitions are
+// evaluated lazily at link events, so an idle link costs nothing; the
+// link's scheduleChange includes the next transition while transfers are
+// active so hard outages still end deterministically.
+type outageState struct {
+	model     OutageModel
+	rng       *stats.RNG
+	active    bool
+	until     float64 // episode end, valid while active
+	nextStart float64 // next episode start, valid while !active
+}
+
+func newOutageState(model OutageModel, rng *stats.RNG, now float64) *outageState {
+	return &outageState{
+		model:     model,
+		rng:       rng,
+		nextStart: now + rng.Exponential(model.MeanTimeBetween),
+	}
+}
+
+// step advances the episode schedule to virtual time now.
+func (o *outageState) step(now float64) {
+	for {
+		if o.active {
+			if now < o.until {
+				return
+			}
+			o.active = false
+			o.nextStart = o.until + o.rng.Exponential(o.model.MeanTimeBetween)
+		} else {
+			if now < o.nextStart {
+				return
+			}
+			o.active = true
+			o.until = o.nextStart + o.rng.Exponential(o.model.MeanDuration)
+		}
+	}
+}
+
+// factor returns the current capacity multiplier.
+func (o *outageState) factor() float64 {
+	if o.active {
+		return o.model.ThrottleFactor
+	}
+	return 1
+}
+
+// nextTransition returns when the factor next changes.
+func (o *outageState) nextTransition() float64 {
+	if o.active {
+		return o.until
+	}
+	return o.nextStart
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"cloudburst/internal/sim"
+)
+
+// QueueItem is one payload waiting to traverse a link.
+type QueueItem struct {
+	Bytes int64
+	Meta  any // typically the *job.Job being moved
+	// OnDone fires when the payload fully arrives; achievedBW is the mean
+	// bandwidth over the transfer.
+	OnDone func(at float64, item *QueueItem, achievedBW float64)
+
+	EnqueuedAt float64
+}
+
+// Queue is a FIFO transfer queue feeding a Link: one payload is in flight
+// at a time (a large upload blocks everything behind it — the pathology
+// that motivates size-interval splitting). Thread counts come from the
+// tuner when present.
+type Queue struct {
+	Name string
+
+	eng   *sim.Engine
+	link  *Link
+	tuner *Tuner
+
+	fixedThreads int
+	items        []*QueueItem
+	current      *QueueItem
+	currentTr    *Transfer
+
+	// OnIdle, when set, fires after the queue drains completely. The
+	// size-interval coordinator uses it to pull work up from lower queues.
+	OnIdle func(q *Queue)
+
+	// OnMeasure, when set, receives the path-bandwidth estimate of each
+	// completed transfer (achieved rate scaled by mean concurrency) — the
+	// signal the network predictor learns from.
+	OnMeasure func(at, pathBW float64)
+
+	completed  int
+	bytesMoved int64
+}
+
+// NewQueue creates a queue on link. If tuner is nil, transfers use
+// fixedThreads (minimum 1).
+func NewQueue(eng *sim.Engine, name string, link *Link, tuner *Tuner, fixedThreads int) *Queue {
+	if fixedThreads < 1 {
+		fixedThreads = 1
+	}
+	return &Queue{Name: name, eng: eng, link: link, tuner: tuner, fixedThreads: fixedThreads}
+}
+
+// Enqueue appends an item and starts it immediately if the queue is idle.
+func (q *Queue) Enqueue(it *QueueItem) {
+	if it.Bytes <= 0 {
+		panic("netsim: queue item must have positive size")
+	}
+	it.EnqueuedAt = q.eng.Now()
+	q.items = append(q.items, it)
+	q.startNext()
+}
+
+func (q *Queue) threads() int {
+	if q.tuner != nil {
+		return q.tuner.Threads()
+	}
+	return q.fixedThreads
+}
+
+func (q *Queue) startNext() {
+	if q.current != nil || len(q.items) == 0 {
+		return
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.current = it
+	q.currentTr = q.link.Start(q.Name, it.Bytes, q.threads(), func(at float64, tr *Transfer) {
+		q.current = nil
+		q.currentTr = nil
+		q.completed++
+		q.bytesMoved += it.Bytes
+		bw := tr.AchievedBW(at)
+		if q.tuner != nil {
+			q.tuner.Observe(at, bw)
+		}
+		if q.OnMeasure != nil {
+			q.OnMeasure(at, tr.PathBW(at))
+		}
+		if it.OnDone != nil {
+			it.OnDone(at, it, bw)
+		}
+		q.startNext()
+		if q.current == nil && len(q.items) == 0 && q.OnIdle != nil {
+			q.OnIdle(q)
+		}
+	})
+}
+
+// Busy reports whether a transfer is in flight.
+func (q *Queue) Busy() bool { return q.current != nil }
+
+// QueuedItems returns the number of waiting (not in-flight) items.
+func (q *Queue) QueuedItems() int { return len(q.items) }
+
+// Completed returns the number of finished transfers.
+func (q *Queue) Completed() int { return q.completed }
+
+// BytesMoved returns the total completed payload.
+func (q *Queue) BytesMoved() int64 { return q.bytesMoved }
+
+// Backlog returns the bytes ahead of a new arrival: everything queued plus
+// what remains of the in-flight transfer. This is locally observable state
+// (the sender knows its own queue), so schedulers may use it in estimates.
+func (q *Queue) Backlog() float64 {
+	var b float64
+	for _, it := range q.items {
+		b += float64(it.Bytes)
+	}
+	if q.currentTr != nil {
+		b += q.currentTr.Remaining()
+	}
+	return b
+}
+
+// StealHead removes and returns the oldest waiting item, or nil when none
+// is waiting. The in-flight item is never stolen.
+func (q *Queue) StealHead() *QueueItem {
+	if len(q.items) == 0 {
+		return nil
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it
+}

@@ -1,0 +1,148 @@
+package qrsm
+
+import (
+	"cloudburst/internal/job"
+)
+
+// Estimator is the processing-time oracle the schedulers consult. It keeps
+// a global QRSM over all observed jobs plus one per job class (the paper
+// extracts "a relevant set of features … for every job type"), refits
+// periodically as completions stream in, and falls back to a
+// seconds-per-megabyte heuristic until enough data accumulates.
+//
+// Estimates are for a standard (speed 1.0) machine; callers divide by the
+// target machine's speed factor.
+type Estimator struct {
+	global     *Model
+	perClass   []*Model
+	floor      float64
+	fallbackMB float64 // seconds per input megabyte before any fit
+	refitEvery int
+	sinceRefit int
+}
+
+// EstimatorOption configures an Estimator.
+type EstimatorOption func(*Estimator)
+
+// WithRefitEvery sets how many observations trigger an automatic refit
+// (default 25).
+func WithRefitEvery(n int) EstimatorOption {
+	return func(e *Estimator) {
+		if n > 0 {
+			e.refitEvery = n
+		}
+	}
+}
+
+// WithFallbackRate sets the pre-fit heuristic in seconds per input megabyte
+// (default 2.0, matching the synthetic workload's scale).
+func WithFallbackRate(secPerMB float64) EstimatorOption {
+	return func(e *Estimator) { e.fallbackMB = secPerMB }
+}
+
+// WithFloor sets the minimum returned estimate in seconds (default 1).
+func WithFloor(floor float64) EstimatorOption {
+	return func(e *Estimator) { e.floor = floor }
+}
+
+// WithModelWindow bounds each underlying model's training window.
+func WithModelWindow(n int) EstimatorOption {
+	return func(e *Estimator) {
+		e.global = New(featureDim, WithWindow(n))
+		for i := range e.perClass {
+			e.perClass[i] = New(featureDim, WithWindow(n))
+		}
+	}
+}
+
+var featureDim = len(job.Features{}.Vector())
+
+// NewEstimator returns an estimator with no training data.
+func NewEstimator(opts ...EstimatorOption) *Estimator {
+	e := &Estimator{
+		global:     New(featureDim),
+		perClass:   make([]*Model, job.NumClasses),
+		floor:      1,
+		fallbackMB: 2.0,
+		refitEvery: 25,
+	}
+	for i := range e.perClass {
+		e.perClass[i] = New(featureDim)
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Observe records an actual processing time (standard-machine seconds) for
+// a job's features and refits when the refit cadence is due.
+func (e *Estimator) Observe(f job.Features, seconds float64) {
+	x := f.Vector()
+	e.global.Observe(x, seconds)
+	if c := int(f.Class); c >= 0 && c < len(e.perClass) {
+		e.perClass[c].Observe(x, seconds)
+	}
+	e.sinceRefit++
+	if e.sinceRefit >= e.refitEvery {
+		e.Refit()
+	}
+}
+
+// Refit refits every model that has enough samples. Fit errors (too few
+// samples) are expected early on and simply leave the previous fit active.
+func (e *Estimator) Refit() {
+	e.sinceRefit = 0
+	_ = e.global.Fit()
+	for _, m := range e.perClass {
+		_ = m.Fit()
+	}
+}
+
+// Bootstrap seeds the estimator from a standard production dataset — the
+// paper "starts with an initial best estimate model based on a standard set
+// of production data" — and fits immediately.
+func (e *Estimator) Bootstrap(features []job.Features, seconds []float64) {
+	if len(features) != len(seconds) {
+		panic("qrsm: bootstrap length mismatch")
+	}
+	for i := range features {
+		x := features[i].Vector()
+		e.global.Observe(x, seconds[i])
+		if c := int(features[i].Class); c >= 0 && c < len(e.perClass) {
+			e.perClass[c].Observe(x, seconds[i])
+		}
+	}
+	e.Refit()
+}
+
+// Estimate returns the predicted standard-machine processing time for a job
+// with the given features. Preference order: well-determined class model,
+// fitted global model, size heuristic. A class model that merely
+// interpolates its few samples is skipped — its edge behaviour is wild.
+func (e *Estimator) Estimate(f job.Features) float64 {
+	x := f.Vector()
+	if c := int(f.Class); c >= 0 && c < len(e.perClass) && e.perClass[c].WellDetermined() {
+		return e.perClass[c].PredictClamped(x, e.floor)
+	}
+	if e.global.Fitted() {
+		return e.global.PredictClamped(x, e.floor)
+	}
+	v := e.fallbackMB * f.SizeMB
+	if v < e.floor {
+		return e.floor
+	}
+	return v
+}
+
+// GlobalModel exposes the global QRSM for diagnostics (Fig. 3 reports the
+// fitted surface).
+func (e *Estimator) GlobalModel() *Model { return e.global }
+
+// ClassModel returns the per-class model for c, or nil for an unknown class.
+func (e *Estimator) ClassModel(c job.Class) *Model {
+	if int(c) < 0 || int(c) >= len(e.perClass) {
+		return nil
+	}
+	return e.perClass[c]
+}

@@ -1,0 +1,235 @@
+// Package qrsm implements the quadratic response surface model the paper
+// uses to estimate job processing times (Sec. III-A1, Fig. 3):
+//
+//	y = a + Σ b_i·x_i + Σ_{i≠j} c_ij·x_i·x_j + Σ d_i·x_i²
+//
+// Coefficients are fit by ridge-stabilized least squares over observed
+// (features, processing time) pairs. The paper solves a linear programming
+// model; least squares is the standard RSM estimator (Myers & Montgomery,
+// the paper's own reference [9]) and yields the same qualitative behaviour,
+// including the occasional over/under-estimation the paper discusses.
+// Features are standardized internally so the normal equations stay well
+// conditioned for raw document attributes spanning several orders of
+// magnitude.
+package qrsm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cloudburst/internal/linalg"
+)
+
+// ErrNotFitted is returned by Predict before a successful Fit.
+var ErrNotFitted = errors.New("qrsm: model has not been fitted")
+
+// ErrTooFewSamples is returned by Fit when observations < basis size.
+var ErrTooFewSamples = errors.New("qrsm: not enough samples to fit")
+
+// BasisSize returns the number of terms in the full quadratic basis for dim
+// input features: intercept + linear + pairwise interactions + squares.
+func BasisSize(dim int) int {
+	return 1 + dim + dim*(dim-1)/2 + dim
+}
+
+// Model is a quadratic response surface over a fixed-dimension feature
+// vector. The zero value is unusable; call New.
+type Model struct {
+	dim        int
+	lambda     float64
+	maxSamples int
+
+	xs [][]float64
+	ys []float64
+
+	fitted bool
+	mean   []float64
+	scale  []float64
+	coef   []float64
+
+	r2   float64
+	rmse float64
+}
+
+// Option configures a Model.
+type Option func(*Model)
+
+// WithRidge sets the ridge regularization strength (default 1e-6).
+func WithRidge(lambda float64) Option {
+	return func(m *Model) { m.lambda = lambda }
+}
+
+// WithWindow bounds the number of retained training samples; the oldest are
+// discarded first. This is what lets the autonomic system "subsequently
+// learn and tune the model" as conditions drift. Zero (default) keeps all.
+func WithWindow(n int) Option {
+	return func(m *Model) { m.maxSamples = n }
+}
+
+// New creates a model over dim-dimensional feature vectors.
+func New(dim int, opts ...Option) *Model {
+	if dim <= 0 {
+		panic(fmt.Sprintf("qrsm: dimension %d must be positive", dim))
+	}
+	m := &Model{dim: dim, lambda: 1e-6}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Dim returns the feature dimension.
+func (m *Model) Dim() int { return m.dim }
+
+// NumSamples returns the number of retained observations.
+func (m *Model) NumSamples() int { return len(m.ys) }
+
+// Fitted reports whether a successful Fit has run.
+func (m *Model) Fitted() bool { return m.fitted }
+
+// WellDetermined reports whether the current training window holds at
+// least twice as many samples as basis terms. A fit that merely satisfies
+// n ≥ p interpolates its data and extrapolates wildly; callers choosing
+// between models should prefer well-determined ones.
+func (m *Model) WellDetermined() bool {
+	return m.fitted && len(m.ys) >= 2*BasisSize(m.dim)
+}
+
+// Observe records a training pair. The feature slice is copied.
+func (m *Model) Observe(x []float64, y float64) {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("qrsm: observation dim %d, want %d", len(x), m.dim))
+	}
+	m.xs = append(m.xs, append([]float64(nil), x...))
+	m.ys = append(m.ys, y)
+	if m.maxSamples > 0 && len(m.ys) > m.maxSamples {
+		drop := len(m.ys) - m.maxSamples
+		m.xs = m.xs[drop:]
+		m.ys = m.ys[drop:]
+	}
+}
+
+// basis expands a standardized feature vector into the quadratic basis.
+func basis(z []float64) []float64 {
+	dim := len(z)
+	out := make([]float64, 0, BasisSize(dim))
+	out = append(out, 1)
+	out = append(out, z...)
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ {
+			out = append(out, z[i]*z[j])
+		}
+	}
+	for i := 0; i < dim; i++ {
+		out = append(out, z[i]*z[i])
+	}
+	return out
+}
+
+func (m *Model) standardize(x []float64) []float64 {
+	z := make([]float64, m.dim)
+	for i := range z {
+		z[i] = (x[i] - m.mean[i]) / m.scale[i]
+	}
+	return z
+}
+
+// Fit solves for the coefficients over all retained observations. It
+// requires at least BasisSize(dim) samples.
+func (m *Model) Fit() error {
+	p := BasisSize(m.dim)
+	n := len(m.ys)
+	if n < p {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, n, p)
+	}
+	// Standardization parameters from the current training window.
+	m.mean = make([]float64, m.dim)
+	m.scale = make([]float64, m.dim)
+	for j := 0; j < m.dim; j++ {
+		var s float64
+		for _, x := range m.xs {
+			s += x[j]
+		}
+		m.mean[j] = s / float64(n)
+		var v float64
+		for _, x := range m.xs {
+			d := x[j] - m.mean[j]
+			v += d * d
+		}
+		m.scale[j] = math.Sqrt(v / float64(n))
+		if m.scale[j] == 0 {
+			m.scale[j] = 1 // constant feature: center only
+		}
+	}
+	a := linalg.NewMatrix(n, p)
+	for i, x := range m.xs {
+		row := basis(m.standardize(x))
+		copy(a.Data[i*p:(i+1)*p], row)
+	}
+	coef, err := linalg.RidgeLeastSquares(a, m.ys, m.lambda)
+	if err != nil {
+		return fmt.Errorf("qrsm: fit failed: %w", err)
+	}
+	m.coef = coef
+	m.fitted = true
+	m.computeDiagnostics()
+	return nil
+}
+
+func (m *Model) computeDiagnostics() {
+	n := len(m.ys)
+	var sse, sst, meanY float64
+	for _, y := range m.ys {
+		meanY += y
+	}
+	meanY /= float64(n)
+	for i, x := range m.xs {
+		pred, _ := m.Predict(x)
+		d := m.ys[i] - pred
+		sse += d * d
+		dy := m.ys[i] - meanY
+		sst += dy * dy
+	}
+	m.rmse = math.Sqrt(sse / float64(n))
+	if sst > 0 {
+		m.r2 = 1 - sse/sst
+	} else {
+		m.r2 = 0
+	}
+}
+
+// Predict evaluates the fitted surface at x.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("qrsm: predict dim %d, want %d", len(x), m.dim))
+	}
+	return linalg.Dot(basis(m.standardize(x)), m.coef), nil
+}
+
+// PredictClamped evaluates the surface and clamps the result to at least
+// floor. Processing-time estimates must stay positive no matter how far a
+// query sits from the training cloud.
+func (m *Model) PredictClamped(x []float64, floor float64) float64 {
+	v, err := m.Predict(x)
+	if err != nil || math.IsNaN(v) || v < floor {
+		return floor
+	}
+	return v
+}
+
+// R2 returns the coefficient of determination on the training window
+// (meaningful only after Fit).
+func (m *Model) R2() float64 { return m.r2 }
+
+// RMSE returns the root-mean-square training error (after Fit).
+func (m *Model) RMSE() float64 { return m.rmse }
+
+// Coefficients returns a copy of the fitted basis coefficients in the order
+// [intercept, linear..., interactions..., squares...].
+func (m *Model) Coefficients() []float64 {
+	return append([]float64(nil), m.coef...)
+}

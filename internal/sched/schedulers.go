@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"math"
+
+	"cloudburst/internal/job"
+)
+
+// ICOnly is the baseline scheduler: every job runs on the internal cloud.
+// The paper uses it as the reference for the relative OO metric (Fig. 10)
+// and the makespan comparison (Fig. 6).
+type ICOnly struct{}
+
+// Name implements Scheduler.
+func (ICOnly) Name() string { return "ICOnly" }
+
+// Schedule implements Scheduler.
+func (ICOnly) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision {
+	out := make([]Decision, len(batch))
+	for i, j := range batch {
+		out[i] = Decision{Job: j, Place: PlaceIC}
+	}
+	return out
+}
+
+// Greedy is Algorithm 1 as printed: each job is compared against the
+// *current* system state — ft_ic(j) vs ft_ec(j) — and placed where it is
+// expected to finish first. The pseudo-code carries no bookkeeping of the
+// decisions already made within the batch, so when the EC momentarily looks
+// cheap every job in the batch sees the same cheap estimate and the
+// scheduler over-bursts; the resulting transient congestion is the source
+// of the out-of-order peaks the paper attributes to Greedy ("making a
+// greedy decision ... based on the transient value of bandwidth").
+//
+// GreedyTracking is the repaired variant used in ablation benches.
+type Greedy struct{}
+
+// Name implements Scheduler.
+func (Greedy) Name() string { return "Greedy" }
+
+// Schedule implements Scheduler.
+//
+// Dispatching a job to the EC immediately lengthens the (locally
+// observable) upload queue, so the EC estimate reflects jobs already sent;
+// the IC estimate, however, is the line-3 snapshot ft^ic against the
+// backlog observed when the batch arrived — the pseudo-code carries no
+// update for it.
+func (Greedy) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision {
+	out := make([]Decision, 0, len(batch))
+	pipes := allPipelines(st)
+	for _, j := range batch {
+		est := st.estProc(j)
+		// ft^ic: wait for the aggregate IC backlog, then process.
+		tic := st.ICBacklogStd/(float64(max1(st.ICMachines))*st.ICSpeed) + est/st.ICSpeed
+		site, tec := bestSite(pipes, j, est)
+		if tic <= tec {
+			out = append(out, Decision{Job: j, Place: PlaceIC})
+		} else {
+			pipes[site].commit(j, est)
+			out = append(out, Decision{Job: j, Place: PlaceEC, Site: site})
+		}
+	}
+	return out
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// GreedyTracking is Greedy with within-batch bookkeeping: each decision
+// updates a virtual model of both clouds, so later jobs in the batch see
+// the load committed by earlier ones. It exists to quantify (in the
+// ablation benches) how much of Greedy's pathology is the missing feedback
+// rather than greediness itself.
+type GreedyTracking struct{}
+
+// Name implements Scheduler.
+func (GreedyTracking) Name() string { return "GreedyTracking" }
+
+// Schedule implements Scheduler.
+func (GreedyTracking) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision {
+	ic := newVirtualPool(st.ICMachines, st.ICSpeed, st.ICBacklogStd)
+	pipes := allPipelines(st)
+	out := make([]Decision, 0, len(batch))
+	for _, j := range batch {
+		est := st.estProc(j)
+		tic := peekPool(ic, est)
+		site, tec := bestSite(pipes, j, est)
+		if tic <= tec {
+			ic.add(est, 0)
+			out = append(out, Decision{Job: j, Place: PlaceIC})
+		} else {
+			pipes[site].commit(j, est)
+			out = append(out, Decision{Job: j, Place: PlaceEC, Site: site})
+		}
+	}
+	return out
+}
+
+// peekPool estimates completion on the pool without committing.
+func peekPool(v *virtualPool, stdSeconds float64) float64 {
+	return v.earliest() + stdSeconds/v.speed
+}
+
+// Config tunes the Order Preserving scheduler's chunking pass and slack
+// margin.
+type Config struct {
+	// ChunkWindow is x in Algorithm 2: the look-ahead window for the size
+	// variability check. Default 4.
+	ChunkWindow int
+	// ChunkStdThresholdMB is th: chunk the current job when the window's
+	// size standard deviation exceeds this. Default 60 MB.
+	ChunkStdThresholdMB float64
+	// ChunkTargetMB is the chunk size pdfchunk aims for. Default 50 MB.
+	ChunkTargetMB float64
+	// SlackMargin τ is subtracted from the slack before the comparison,
+	// making bursting more conservative. Default 0.
+	SlackMargin float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkWindow == 0 {
+		c.ChunkWindow = 4
+	}
+	if c.ChunkStdThresholdMB == 0 {
+		c.ChunkStdThresholdMB = 60
+	}
+	if c.ChunkTargetMB == 0 {
+		c.ChunkTargetMB = 50
+	}
+	return c
+}
+
+// OrderPreserving is Algorithm 2: it first reduces job-size variance by
+// chunking oversized jobs (lines 3–10), then bursts exactly those jobs
+// whose estimated EC round trip fits inside their slack (lines 11–17), so
+// bursted jobs are never on the critical path if the estimates hold.
+type OrderPreserving struct {
+	Cfg Config
+}
+
+// Name implements Scheduler.
+func (o OrderPreserving) Name() string { return "Op" }
+
+// Schedule implements Scheduler.
+func (o OrderPreserving) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision {
+	cfg := o.Cfg.withDefaults()
+	jobs := chunkPass(batch, cfg, alloc)
+	return placeWithSlack(jobs, st, cfg)
+}
+
+// chunkPass implements lines 3–10 of Algorithm 2: walk the list with a
+// sliding window; when the window's size deviation exceeds the threshold,
+// replace the current job with its chunks in place.
+func chunkPass(batch []*job.Job, cfg Config, alloc job.IDAllocator) []*job.Job {
+	jobs := append([]*job.Job(nil), batch...)
+	target := job.Bytes(cfg.ChunkTargetMB)
+	thresholdB := cfg.ChunkStdThresholdMB * float64(job.Megabyte)
+	for i := 0; i < len(jobs); i++ {
+		hi := i + cfg.ChunkWindow
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		v := sizeStd(jobs[i:hi])
+		if v <= thresholdB || jobs[i].InputSize <= target {
+			continue
+		}
+		chunks := job.ChunkToSize(jobs[i], target, alloc)
+		if len(chunks) == 1 {
+			continue
+		}
+		// J.remove(i); J.insert(i, C): chunks take the parent's position.
+		tail := append([]*job.Job(nil), jobs[i+1:]...)
+		jobs = append(jobs[:i], append(chunks, tail...)...)
+		i += len(chunks) - 1 // skip past the inserted chunks
+	}
+	return jobs
+}
+
+// sizeStd returns the population standard deviation of the window's input
+// sizes in bytes.
+func sizeStd(window []*job.Job) float64 {
+	if len(window) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, j := range window {
+		mean += float64(j.InputSize)
+	}
+	mean /= float64(len(window))
+	var v float64
+	for _, j := range window {
+		d := float64(j.InputSize) - mean
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(window)))
+}
+
+// placeWithSlack implements lines 11–17 of Algorithm 2 over an already
+// chunked list. The slack of position i is the largest estimated completion
+// of the *internally placed* jobs preceding it — per the paper's reading of
+// eq. (1), a bursted job must make its round trip before the IC work ahead
+// of it drains. Counting earlier EC completions toward slack instead would
+// let each burst extend the next one's cushion, cascading the external
+// cloud onto the critical path.
+func placeWithSlack(jobs []*job.Job, st *State, cfg Config) []Decision {
+	ic := newVirtualPool(st.ICMachines, st.ICSpeed, st.ICBacklogStd)
+	pipes := allPipelines(st)
+	out := make([]Decision, 0, len(jobs))
+	var maxICCompletion float64 // slack(J, i): latest internal completion so far
+	for _, j := range jobs {
+		est := st.estProc(j)
+		site, tec := bestSite(pipes, j, est)
+		slack := maxICCompletion - cfg.SlackMargin
+		if tec <= slack {
+			pipes[site].commit(j, est)
+			out = append(out, Decision{Job: j, Place: PlaceEC, Site: site})
+		} else {
+			done := ic.add(est, 0)
+			out = append(out, Decision{Job: j, Place: PlaceIC})
+			if done > maxICCompletion {
+				maxICCompletion = done
+			}
+		}
+	}
+	return out
+}
+
+// Slack exposes equation (1) for diagnostics and tests: given estimated
+// completion offsets of the jobs preceding position i, the slack is their
+// maximum (zero for the head of the queue).
+func Slack(completionsBefore []float64) float64 {
+	var m float64
+	for _, c := range completionsBefore {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,329 @@
+// Package sched implements the paper's cloud-bursting schedulers: the
+// IC-only baseline, the Greedy scheduler (Algorithm 1), the Order
+// Preserving scheduler with slackness constraints and chunking
+// (Algorithm 2), and the size-interval bandwidth-splitting extension
+// (Algorithm 3). All of them are traffic-oblivious: they see only the
+// current system state and the learned estimators, never ground truth.
+package sched
+
+import (
+	"math"
+
+	"cloudburst/internal/job"
+)
+
+// Placement says where a job runs.
+type Placement int
+
+const (
+	// PlaceIC keeps the job on the internal cloud.
+	PlaceIC Placement = iota
+	// PlaceEC bursts the job to the external cloud.
+	PlaceEC
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == PlaceEC {
+		return "EC"
+	}
+	return "IC"
+}
+
+// Decision is one job's placement in queue order. The decision list is the
+// post-chunking FCFS queue: its order defines the result-queue sequence the
+// OO metric scores. For bursted jobs, Site selects the external cloud:
+// 0 is the primary EC, 1+N indexes State.RemoteSites — the paper's "where"
+// dimension once several providers are available.
+type Decision struct {
+	Job   *job.Job
+	Place Placement
+	Site  int
+}
+
+// State is the observable system state a scheduler may consult: local queue
+// contents, cluster backlogs, and the learned estimators. Nothing here
+// exposes ground-truth processing times or the true bandwidth profile.
+type State struct {
+	Now float64
+
+	// Internal cloud.
+	ICBacklogStd float64 // std-machine seconds queued + running
+	ICMachines   int
+	ICSpeed      float64 // per-machine speed factor
+
+	// External cloud.
+	ECBacklogStd float64
+	ECMachines   int
+	ECSpeed      float64
+	// ECPendingStd is the estimated compute (std-seconds) of jobs already
+	// dispatched toward the EC but still in the upload phase — work the EC
+	// cluster backlog cannot see yet. Schedulers fold it into their EC
+	// congestion estimates; ignoring it systematically over-bursts.
+	ECPendingStd float64
+
+	// Transfer path.
+	UploadBacklog   float64 // bytes queued + in flight toward EC
+	DownloadBacklog float64 // bytes queued + in flight back from EC
+	// DownloadPending is the output of jobs already committed to the EC
+	// that have not reached the download queue yet (still uploading or
+	// computing remotely). Those bytes will contend with any new burst's
+	// download, so estimates must count them.
+	DownloadPending float64
+	UploadQueues    [3]float64 // per-queue backlogs (small, medium, large) when SIBS is active
+	// UploadChannels is how many transfers the upload path runs
+	// concurrently (1 for the single queue, 3 under size-interval
+	// splitting). Concurrency raises aggregate throughput but divides the
+	// rate each job sees; estimates that ignore this overshoot badly.
+	UploadChannels int
+
+	// Learned models.
+	PredictUploadBW   func(t float64) float64
+	PredictDownloadBW func(t float64) float64
+	EstimateProc      func(f job.Features) float64 // std-machine seconds
+
+	// RemoteSites describes additional external clouds beyond the primary
+	// one (an empty slice reproduces the paper's single-EC setting). Each
+	// site has its own network path and cluster; schedulers burst to the
+	// site with the earliest estimated completion.
+	RemoteSites []SiteState
+}
+
+// SiteState is the observable state of one additional external cloud.
+type SiteState struct {
+	BacklogStd      float64 // std-seconds queued + running at the site
+	PendingStd      float64 // estimated compute still in that site's upload pipe
+	Machines        int
+	Speed           float64
+	UploadBacklog   float64
+	DownloadBacklog float64
+	DownloadPending float64
+
+	PredictUploadBW   func(t float64) float64
+	PredictDownloadBW func(t float64) float64
+}
+
+// estProc returns the estimated standard-machine seconds for j.
+func (s *State) estProc(j *job.Job) float64 {
+	e := s.EstimateProc(j.Features)
+	if e <= 0 || math.IsNaN(e) {
+		e = 1
+	}
+	return e
+}
+
+func (s *State) upBW(t float64) float64 {
+	bw := s.PredictUploadBW(t)
+	if bw <= 0 {
+		return 1 // pathological estimate: assume a crawling link, not a dead one
+	}
+	return bw
+}
+
+func (s *State) downBW(t float64) float64 {
+	bw := s.PredictDownloadBW(t)
+	if bw <= 0 {
+		return 1
+	}
+	return bw
+}
+
+// Scheduler decides placements for one arriving batch. alloc provides IDs
+// for chunk jobs. The returned decisions contain every job (or chunk) of
+// the batch in final queue order.
+type Scheduler interface {
+	Name() string
+	Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision
+}
+
+// virtualPool tracks hypothetical machine availability while a scheduler
+// walks a batch: an estimate of when each machine frees up, expressed as
+// seconds from now. Every machine starts equally loaded with the observed
+// backlog spread across the pool — the scheduler cannot see actual
+// per-machine assignments, only the aggregate.
+type virtualPool struct {
+	free  []float64
+	speed float64
+}
+
+func newVirtualPool(machines int, speed, backlogStd float64) *virtualPool {
+	if machines < 1 {
+		machines = 1
+	}
+	per := backlogStd / (float64(machines) * speed)
+	v := &virtualPool{free: make([]float64, machines), speed: speed}
+	for i := range v.free {
+		v.free[i] = per
+	}
+	return v
+}
+
+// add places stdSeconds of work on the earliest-free machine, optionally
+// not before readyAt (e.g. after an upload lands), and returns the
+// estimated completion offset from now.
+func (v *virtualPool) add(stdSeconds, readyAt float64) float64 {
+	best := 0
+	for i := 1; i < len(v.free); i++ {
+		if v.free[i] < v.free[best] {
+			best = i
+		}
+	}
+	start := v.free[best]
+	if readyAt > start {
+		start = readyAt
+	}
+	end := start + stdSeconds/v.speed
+	v.free[best] = end
+	return end
+}
+
+// earliest returns the soonest any machine frees up.
+func (v *virtualPool) earliest() float64 {
+	e := v.free[0]
+	for _, f := range v.free[1:] {
+		if f < e {
+			e = f
+		}
+	}
+	return e
+}
+
+// ecPipeline tracks the hypothetical EC round-trip pipeline during a batch:
+// one or more parallel upload channels (each carrying 1/k of the path
+// capacity), the EC machine pool, and a serial download channel, all in
+// seconds-from-now.
+type ecPipeline struct {
+	now       float64
+	upBW      func(t float64) float64
+	downBW    func(t float64) float64
+	upFree    []float64 // per-channel free times
+	channels  float64
+	downFree  float64
+	pool      *virtualPool
+	extraUp   float64 // bytes this batch already committed to upload
+	placedStd float64 // std-seconds this batch already committed to EC
+}
+
+func buildPipeline(now float64, upBW, downBW func(t float64) float64,
+	channels int, upBacklog, downBacklog float64, poolMachines int, poolSpeed, poolBacklog float64) *ecPipeline {
+	if channels < 1 {
+		channels = 1
+	}
+	agg := guardBW(upBW(now))
+	// The existing backlog drains at the aggregate rate regardless of how
+	// it is split, so each channel starts equally loaded.
+	perChannelStart := upBacklog / agg
+	upFree := make([]float64, channels)
+	for i := range upFree {
+		upFree[i] = perChannelStart
+	}
+	return &ecPipeline{
+		now:      now,
+		upBW:     func(t float64) float64 { return guardBW(upBW(t)) },
+		downBW:   func(t float64) float64 { return guardBW(downBW(t)) },
+		upFree:   upFree,
+		channels: float64(channels),
+		downFree: downBacklog / guardBW(downBW(now)),
+		pool:     newVirtualPool(poolMachines, poolSpeed, poolBacklog),
+	}
+}
+
+func guardBW(bw float64) float64 {
+	if bw <= 0 || math.IsNaN(bw) {
+		return 1
+	}
+	return bw
+}
+
+func newECPipeline(st *State) *ecPipeline {
+	return buildPipeline(st.Now, st.PredictUploadBW, st.PredictDownloadBW,
+		st.UploadChannels, st.UploadBacklog,
+		st.DownloadBacklog+st.DownloadPending,
+		st.ECMachines, st.ECSpeed, st.ECBacklogStd+st.ECPendingStd)
+}
+
+// newSitePipeline builds the estimate pipeline for one remote site (single
+// upload channel: remote sites use plain FIFO queues).
+func newSitePipeline(st *State, site SiteState) *ecPipeline {
+	return buildPipeline(st.Now, site.PredictUploadBW, site.PredictDownloadBW,
+		1, site.UploadBacklog,
+		site.DownloadBacklog+site.DownloadPending,
+		site.Machines, site.Speed, site.BacklogStd+site.PendingStd)
+}
+
+// allPipelines returns one estimate pipeline per external cloud: index 0 is
+// the primary EC, 1+k the k-th remote site.
+func allPipelines(st *State) []*ecPipeline {
+	out := make([]*ecPipeline, 0, 1+len(st.RemoteSites))
+	out = append(out, newECPipeline(st))
+	for _, site := range st.RemoteSites {
+		out = append(out, newSitePipeline(st, site))
+	}
+	return out
+}
+
+// bestSite returns the pipeline index with the earliest estimate for j and
+// that estimate.
+func bestSite(pipes []*ecPipeline, j *job.Job, estStd float64) (int, float64) {
+	best, bestV := 0, pipes[0].estimate(j, estStd)
+	for i := 1; i < len(pipes); i++ {
+		if v := pipes[i].estimate(j, estStd); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// chRateAt returns the per-channel upload rate for a transfer starting at
+// the given offset from now, using the time-of-day prediction at that
+// moment rather than the current slot — a transfer queued hours out will
+// see a different part of the bandwidth profile.
+func (p *ecPipeline) chRateAt(startOffset float64) float64 {
+	return p.upBW(p.now+startOffset) / p.channels
+}
+
+func (p *ecPipeline) earliestChannel() int {
+	best := 0
+	for i := 1; i < len(p.upFree); i++ {
+		if p.upFree[i] < p.upFree[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// estimate returns the completion offset for job j if bursted now, without
+// committing it.
+func (p *ecPipeline) estimate(j *job.Job, estStd float64) float64 {
+	start := p.upFree[p.earliestChannel()]
+	upEnd := start + float64(j.InputSize)/p.chRateAt(start)
+	procEnd := p.peekProc(estStd, upEnd)
+	downStart := math.Max(procEnd, p.downFree)
+	downDur := float64(j.OutputSize) / p.downBW(p.now+downStart)
+	return downStart + downDur
+}
+
+func (p *ecPipeline) peekProc(estStd, readyAt float64) float64 {
+	// Non-committing version of pool.add.
+	best := p.pool.free[0]
+	for _, f := range p.pool.free[1:] {
+		if f < best {
+			best = f
+		}
+	}
+	start := math.Max(best, readyAt)
+	return start + estStd/p.pool.speed
+}
+
+// commit books job j into the pipeline and returns its completion offset.
+func (p *ecPipeline) commit(j *job.Job, estStd float64) float64 {
+	ch := p.earliestChannel()
+	p.upFree[ch] += float64(j.InputSize) / p.chRateAt(p.upFree[ch])
+	procEnd := p.pool.add(estStd, p.upFree[ch])
+	downStart := math.Max(procEnd, p.downFree)
+	downDur := float64(j.OutputSize) / p.downBW(p.now+downStart)
+	p.downFree = downStart + downDur
+	p.extraUp += float64(j.InputSize)
+	p.placedStd += estStd
+	return p.downFree
+}

@@ -1,0 +1,195 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock (float64 seconds from simulation
+// start) and a priority queue of scheduled events. Events that share the
+// same timestamp fire in the order they were scheduled, which makes runs
+// fully reproducible: the same inputs always produce the same trajectory.
+//
+// The engine is intentionally single-threaded; parallelism in experiments
+// comes from running independent replications (one engine per seed) on
+// separate goroutines, never from sharing one engine across goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires; cancelling an already-fired or already-cancelled event is a no-op.
+type Event struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 when not in the heap
+	canceled bool
+}
+
+// Time returns the virtual time at which the event is (or was) scheduled.
+func (ev *Event) Time() float64 { return ev.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// eventHeap orders events by (time, sequence number).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at time zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events waiting to fire (including events
+// that were cancelled but not yet drained from the queue).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in
+// the past (at < Now) panics: it always indicates a model bug, and silently
+// clamping would mask it.
+func (e *Engine) Schedule(at float64, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %.9f before now %.9f", at, e.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule at non-finite time %v", at))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// ScheduleAfter registers fn to run d seconds from now. Negative delays
+// panic.
+func (e *Engine) ScheduleAfter(d float64, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel removes the event from the queue if it has not fired yet.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+	}
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t and then advances the clock to
+// exactly t (even if no event fired at t). Events scheduled beyond t remain
+// queued.
+func (e *Engine) RunUntil(t float64) {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Stop makes the current Run or RunUntil return after the in-flight event
+// callback completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// peek returns the earliest non-cancelled event without removing it.
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.events)
+	}
+	return nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and true,
+// or 0 and false when the queue is empty.
+func (e *Engine) NextEventTime() (float64, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}

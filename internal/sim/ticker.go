@@ -1,0 +1,48 @@
+package sim
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// It is the simulation analogue of time.Ticker and is used for metric
+// sampling (the paper samples the OO metric every 2 minutes) and for
+// periodic bandwidth probes.
+type Ticker struct {
+	eng    *Engine
+	period float64
+	fn     func(now float64)
+	ev     *Event
+	done   bool
+}
+
+// NewTicker starts a ticker on eng with the given period in seconds. The
+// first tick fires one period from now. fn receives the virtual time of the
+// tick. A non-positive period panics.
+func NewTicker(eng *Engine, period float64, fn func(now float64)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.ScheduleAfter(t.period, func() {
+		if t.done {
+			return
+		}
+		now := t.eng.Now()
+		t.fn(now)
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents any further ticks. It is safe to call from within the tick
+// callback and more than once.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.eng.Cancel(t.ev)
+}

@@ -1,0 +1,154 @@
+// Package sla computes the paper's service-level metrics over completed
+// job records: the Out-of-Order (OO) metric (Sec. II-B, eq. 3–6), makespan
+// (eq. 7), speedup (eq. 10), burst ratio (eq. 11–12), and the in-order wait
+// series behind the completion-time figures (Figs. 7–8).
+//
+// Records are keyed by a result-queue sequence number Seq (0-based): the
+// position of the job in the post-chunking FCFS queue. The downstream
+// consumer (printer, workflow stage) expects outputs in Seq order.
+package sla
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Where identifies the cloud that processed a job.
+type Where int
+
+const (
+	// IC is the internal cloud.
+	IC Where = iota
+	// EC is the external cloud.
+	EC
+)
+
+// String names the placement.
+func (w Where) String() string {
+	if w == EC {
+		return "EC"
+	}
+	return "IC"
+}
+
+// Record is one completed job.
+type Record struct {
+	Seq         int   // result-queue position (0-based, post-chunking)
+	JobID       int   // original job ID
+	BatchID     int   // arrival batch
+	OutputSize  int64 // bytes delivered downstream
+	ArrivalTime float64
+	CompletedAt float64 // when the output reached the result queue
+	Where       Where
+}
+
+// Set accumulates completion records for one run.
+type Set struct {
+	records []Record
+	seen    map[int]struct{}
+}
+
+// NewSet returns an empty record set.
+func NewSet() *Set {
+	return &Set{seen: make(map[int]struct{})}
+}
+
+// Add records a completion. Duplicate sequence numbers panic — every queue
+// slot completes exactly once.
+func (s *Set) Add(r Record) {
+	if r.Seq < 0 {
+		panic(fmt.Sprintf("sla: negative seq %d", r.Seq))
+	}
+	if _, dup := s.seen[r.Seq]; dup {
+		panic(fmt.Sprintf("sla: duplicate completion for seq %d", r.Seq))
+	}
+	if r.CompletedAt < r.ArrivalTime {
+		panic(fmt.Sprintf("sla: seq %d completed at %v before arrival %v", r.Seq, r.CompletedAt, r.ArrivalTime))
+	}
+	s.records = append(s.records, r)
+	s.seen[r.Seq] = struct{}{}
+}
+
+// Len returns the number of records.
+func (s *Set) Len() int { return len(s.records) }
+
+// Records returns a copy of the records sorted by Seq.
+func (s *Set) Records() []Record {
+	out := append([]Record(nil), s.records...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Makespan is eq. (7): the latest completion minus the earliest arrival.
+func (s *Set) Makespan() float64 {
+	if len(s.records) == 0 {
+		return 0
+	}
+	minArr := s.records[0].ArrivalTime
+	maxDone := s.records[0].CompletedAt
+	for _, r := range s.records[1:] {
+		if r.ArrivalTime < minArr {
+			minArr = r.ArrivalTime
+		}
+		if r.CompletedAt > maxDone {
+			maxDone = r.CompletedAt
+		}
+	}
+	return maxDone - minArr
+}
+
+// Speedup is eq. (10) with the ratio oriented so that bigger is better:
+// sequential standard-machine time divided by the cloud-bursting makespan.
+// (The paper's printed formula is inverted relative to its own prose
+// "speedup measures how fast the jobs completed"; we follow the prose.)
+func (s *Set) Speedup(tseq float64) float64 {
+	c := s.Makespan()
+	if c <= 0 {
+		return 0
+	}
+	return tseq / c
+}
+
+// BurstRatio is eq. (12): the fraction of jobs processed in the EC.
+func (s *Set) BurstRatio() float64 {
+	if len(s.records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range s.records {
+		if r.Where == EC {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.records))
+}
+
+// BatchBurstRatios is eq. (11): the burst ratio of each arrival batch.
+func (s *Set) BatchBurstRatios() map[int]float64 {
+	total := make(map[int]int)
+	burst := make(map[int]int)
+	for _, r := range s.records {
+		total[r.BatchID]++
+		if r.Where == EC {
+			burst[r.BatchID]++
+		}
+	}
+	out := make(map[int]float64, len(total))
+	for b, n := range total {
+		out[b] = float64(burst[b]) / float64(n)
+	}
+	return out
+}
+
+// MeanFlowTime returns the average completion−arrival time (a secondary
+// responsiveness metric used in the ablation benches).
+func (s *Set) MeanFlowTime() float64 {
+	if len(s.records) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range s.records {
+		sum += r.CompletedAt - r.ArrivalTime
+	}
+	return sum / float64(len(s.records))
+}

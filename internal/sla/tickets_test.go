@@ -1,0 +1,135 @@
+package sla
+
+import (
+	"math"
+	"testing"
+)
+
+func ticketSet() *Set {
+	s := NewSet()
+	// arrivals at 0, completions spread out; output 10MB each.
+	out := int64(10 << 20)
+	s.Add(Record{Seq: 0, ArrivalTime: 0, CompletedAt: 50, OutputSize: out})
+	s.Add(Record{Seq: 1, ArrivalTime: 0, CompletedAt: 150, OutputSize: out})
+	s.Add(Record{Seq: 2, ArrivalTime: 100, CompletedAt: 180, OutputSize: out})
+	s.Add(Record{Seq: 3, ArrivalTime: 100, CompletedAt: 500, OutputSize: out})
+	return s
+}
+
+func TestFixedTicketReport(t *testing.T) {
+	s := ticketSet()
+	rep := s.TicketsKept(FixedTicket(100))
+	// Flow times: 50 ✓, 150 ✗(late 50), 80 ✓, 400 ✗(late 300).
+	if rep.Jobs != 4 || rep.Kept != 2 {
+		t.Fatalf("kept %d/%d, want 2/4", rep.Kept, rep.Jobs)
+	}
+	if rep.KeptRatio != 0.5 {
+		t.Fatalf("ratio = %v", rep.KeptRatio)
+	}
+	if math.Abs(rep.MeanLateness-(50+300)/4.0) > 1e-9 {
+		t.Fatalf("mean lateness = %v", rep.MeanLateness)
+	}
+	if rep.WorstLateness != 300 {
+		t.Fatalf("worst = %v", rep.WorstLateness)
+	}
+	if rep.P95Lateness != 300 {
+		t.Fatalf("p95 = %v", rep.P95Lateness)
+	}
+}
+
+func TestFixedTicketAllKept(t *testing.T) {
+	rep := ticketSet().TicketsKept(FixedTicket(1000))
+	if rep.Kept != 4 || rep.MeanLateness != 0 || rep.P95Lateness != 0 {
+		t.Fatalf("generous ticket broken: %+v", rep)
+	}
+}
+
+func TestProportionalTicket(t *testing.T) {
+	p := ProportionalTicket(10, 2) // 10s + 2s/MB
+	if got := p(0, 10<<20); got != 30 {
+		t.Fatalf("proportional promise = %v, want 30", got)
+	}
+	s := ticketSet()
+	rep := s.TicketsKept(ProportionalTicket(10, 5)) // promise 60s each
+	if rep.Kept != 1 {                              // only the 50s flow-time job
+		t.Fatalf("kept = %d, want 1", rep.Kept)
+	}
+}
+
+func TestPositionalTicket(t *testing.T) {
+	p := PositionalTicket(20, 30)
+	if p(0, 0) != 50 || p(3, 0) != 140 {
+		t.Fatalf("positional promises = %v, %v", p(0, 0), p(3, 0))
+	}
+	s := ticketSet()
+	// Promises: 50, 80, 110, 140 from arrival. Flow times 50,150,80,400.
+	rep := s.TicketsKept(PositionalTicket(20, 30))
+	if rep.Kept != 2 {
+		t.Fatalf("kept = %d, want 2 (seq 0 and seq 2)", rep.Kept)
+	}
+}
+
+func TestTicketPolicyValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { FixedTicket(0) },
+		func() { FixedTicket(-5) },
+		func() { ProportionalTicket(0, 0) },
+		func() { ProportionalTicket(-1, 2) },
+		func() { PositionalTicket(0, 0) },
+		func() { NewSet().TicketsKept(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid policy did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTicketsEmptySet(t *testing.T) {
+	rep := NewSet().TicketsKept(FixedTicket(10))
+	if rep.Jobs != 0 || rep.Kept != 0 || rep.KeptRatio != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}
+
+func TestMinimalUniformTicket(t *testing.T) {
+	s := ticketSet() // flow times 50, 150, 80, 400
+	if got := s.MinimalUniformTicket(1.0); got != 400 {
+		t.Fatalf("100%% ticket = %v, want 400", got)
+	}
+	if got := s.MinimalUniformTicket(0.75); got != 150 {
+		t.Fatalf("75%% ticket = %v, want 150", got)
+	}
+	if got := s.MinimalUniformTicket(0.25); got != 50 {
+		t.Fatalf("25%% ticket = %v, want 50", got)
+	}
+	if NewSet().MinimalUniformTicket(0.9) != 0 {
+		t.Fatal("empty set should quote 0")
+	}
+}
+
+func TestMinimalUniformTicketValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad fraction did not panic")
+		}
+	}()
+	ticketSet().MinimalUniformTicket(0)
+}
+
+// The promise actually kept: running with the minimal uniform ticket keeps
+// at least the requested fraction.
+func TestMinimalTicketSelfConsistent(t *testing.T) {
+	s := ticketSet()
+	for _, frac := range []float64{0.5, 0.75, 1.0} {
+		offset := s.MinimalUniformTicket(frac)
+		rep := s.TicketsKept(FixedTicket(offset))
+		if rep.KeptRatio < frac-1e-9 {
+			t.Fatalf("fraction %v: minimal ticket %v kept only %v", frac, offset, rep.KeptRatio)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations in fixed-width bins over [Lo,Hi). Values
+// outside the range are clamped into the first/last bin so totals are
+// preserved (bandwidth and size distributions have hard physical bounds, but
+// jitter can overshoot them slightly).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given number of bins spanning
+// [lo,hi). It panics on a degenerate range or non-positive bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%v,%v) is empty", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := h.binOf(x)
+	h.Counts[i]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if x < h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return len(h.Counts) - 1
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// String renders a compact ASCII sketch, one line per bin.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*40/maxCount)
+		}
+		fmt.Fprintf(&b, "%12.3g %6d %s\n", h.BinCenter(i), c, bar)
+	}
+	return b.String()
+}

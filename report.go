@@ -1,0 +1,225 @@
+package cloudburst
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudburst/internal/engine"
+	"cloudburst/internal/sla"
+	"cloudburst/internal/stats"
+)
+
+// Point is one sample of a report series.
+type Point struct {
+	T float64 // virtual seconds (or sequence position for per-job series)
+	V float64
+}
+
+// Report summarizes one simulated run and gives access to the SLA series
+// behind the paper's figures.
+type Report struct {
+	Scheduler SchedulerName
+	Bucket    BucketName
+
+	// Headline SLA metrics (Sec. II-C).
+	Makespan   float64 // seconds, eq. (7)
+	Speedup    float64 // t_seq / makespan, eq. (10)
+	BurstRatio float64 // fraction of jobs bursted, eq. (12)
+	ICUtil     float64 // mean internal-cloud utilization, eq. (9)
+	ECUtil     float64 // mean external-cloud utilization
+
+	// Run shape.
+	Jobs          int // post-chunking queue length
+	OriginalJobs  int
+	ChunksCreated int
+	TSeq          float64 // sequential standard-machine seconds
+
+	// In-order consumption summary (Figs. 7–8).
+	PeakCount   int     // downstream stalls
+	TotalStall  float64 // seconds the in-order consumer waited
+	MaxPeak     float64 // worst single stall
+	ValleyCount int     // outputs ready before needed
+
+	// Elastic-EC accounting (rental cost basis; for a fixed fleet this is
+	// simply fleet size × run window).
+	ECMachineSeconds float64
+	ECPeakMachines   int
+
+	// Multi-provider diagnostics (one entry per ExtraECSites entry).
+	SiteBursts []int
+	SiteUtils  []float64
+
+	opts Options
+	res  *engine.Result
+}
+
+func newReport(o Options, res *engine.Result) *Report {
+	peaks, stall, maxPeak := res.Records.PeakStats()
+	return &Report{
+		Scheduler:        o.Scheduler,
+		Bucket:           o.Bucket,
+		Makespan:         res.Makespan,
+		Speedup:          res.Speedup,
+		BurstRatio:       res.BurstRatio,
+		ICUtil:           res.ICUtil,
+		ECUtil:           res.ECUtil,
+		Jobs:             res.Jobs,
+		OriginalJobs:     res.OriginalJobs,
+		ChunksCreated:    res.ChunksCreated,
+		TSeq:             res.TSeq,
+		PeakCount:        peaks,
+		TotalStall:       stall,
+		MaxPeak:          maxPeak,
+		ValleyCount:      res.Records.ValleyCount(),
+		ECMachineSeconds: res.ECMachineSeconds,
+		ECPeakMachines:   res.ECPeakMachines,
+		SiteBursts:       res.SiteBursts,
+		SiteUtils:        res.SiteUtils,
+		opts:             o,
+		res:              res,
+	}
+}
+
+// String renders a one-screen summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s bucket: %d jobs (%d chunks)\n",
+		r.Scheduler, r.Bucket, r.Jobs, r.ChunksCreated)
+	fmt.Fprintf(&b, "  makespan   %8.0f s   speedup %5.2f\n", r.Makespan, r.Speedup)
+	fmt.Fprintf(&b, "  burst      %8.2f     IC util %5.1f%%  EC util %5.1f%%\n",
+		r.BurstRatio, 100*r.ICUtil, 100*r.ECUtil)
+	fmt.Fprintf(&b, "  ordering   %d stalls (%.0fs total, worst %.0fs), %d valleys\n",
+		r.PeakCount, r.TotalStall, r.MaxPeak, r.ValleyCount)
+	return b.String()
+}
+
+// OOSeries returns the out-of-order metric o_t (ordered output bytes
+// available downstream, eq. 6) sampled on the report's interval with the
+// report's tolerance.
+func (r *Report) OOSeries() []Point {
+	ts := r.res.Records.OOSeries(r.opts.OOSampleInterval, r.opts.OOToleranceJobs, "oo")
+	return toPoints(ts)
+}
+
+// RelativeOOSeries returns this run's OO metric minus a baseline run's,
+// evaluated on this run's sampling grid — the quantity plotted in the
+// paper's Fig. 10.
+func (r *Report) RelativeOOSeries(baseline *Report) []Point {
+	a := r.res.Records.OOSeries(r.opts.OOSampleInterval, r.opts.OOToleranceJobs, "a")
+	b := baseline.res.Records.OOSeries(r.opts.OOSampleInterval, r.opts.OOToleranceJobs, "b")
+	return toPoints(stats.Sub(a, b))
+}
+
+// CompletionSeries returns completion time by result-queue position — the
+// raw series of the paper's Figs. 7–8.
+func (r *Report) CompletionSeries() []Point {
+	return toPoints(r.res.Records.CompletionSeries("completion"))
+}
+
+// InOrderWaitSeries returns, per queue position, the signed wait the
+// in-order consumer experiences (positive = stall peak, negative = valley).
+func (r *Report) InOrderWaitSeries() []Point {
+	return toPoints(r.res.Records.InOrderWaitSeries("wait"))
+}
+
+// BatchBurstRatios returns eq. (11): the burst ratio of each arrival batch.
+func (r *Report) BatchBurstRatios() map[int]float64 {
+	return r.res.Records.BatchBurstRatios()
+}
+
+// MeanFlowTime returns the average completion−arrival time in seconds.
+func (r *Report) MeanFlowTime() float64 { return r.res.Records.MeanFlowTime() }
+
+// Completions returns per-job completion records: sequence position, job
+// ID, completion time, and whether the job was bursted.
+func (r *Report) Completions() []Completion {
+	recs := r.res.Records.Records()
+	out := make([]Completion, len(recs))
+	for i, rec := range recs {
+		out[i] = Completion{
+			Seq:         rec.Seq,
+			JobID:       rec.JobID,
+			Batch:       rec.BatchID,
+			OutputBytes: rec.OutputSize,
+			ArrivedAt:   rec.ArrivalTime,
+			CompletedAt: rec.CompletedAt,
+			Bursted:     rec.Where == sla.EC,
+		}
+	}
+	return out
+}
+
+// Completion is one finished job in the result queue.
+type Completion struct {
+	Seq         int
+	JobID       int
+	Batch       int
+	OutputBytes int64
+	ArrivedAt   float64
+	CompletedAt float64
+	Bursted     bool
+}
+
+// TicketReport summarizes how well the run kept per-job completion
+// promises ("tickets") — the paper's framing of customer expectations:
+// jobs are promised completion a certain number of seconds from
+// submission.
+type TicketReport struct {
+	Jobs          int
+	Kept          int
+	KeptRatio     float64
+	MeanLateness  float64 // seconds, 0 for kept tickets
+	P95Lateness   float64
+	WorstLateness float64
+}
+
+func toTicketReport(r sla.TicketReport) TicketReport {
+	return TicketReport{
+		Jobs: r.Jobs, Kept: r.Kept, KeptRatio: r.KeptRatio,
+		MeanLateness: r.MeanLateness, P95Lateness: r.P95Lateness,
+		WorstLateness: r.WorstLateness,
+	}
+}
+
+// FixedTickets evaluates a uniform promise of the given seconds-from-
+// arrival against the run.
+func (r *Report) FixedTickets(seconds float64) TicketReport {
+	return toTicketReport(r.res.Records.TicketsKept(sla.FixedTicket(seconds)))
+}
+
+// ProportionalTickets evaluates a promise of base seconds plus
+// secondsPerMB of output.
+func (r *Report) ProportionalTickets(base, secondsPerMB float64) TicketReport {
+	return toTicketReport(r.res.Records.TicketsKept(sla.ProportionalTicket(base, secondsPerMB)))
+}
+
+// PositionalTickets evaluates a "you are Nth in line" promise: base plus
+// perSlot seconds times the queue position.
+func (r *Report) PositionalTickets(base, perSlot float64) TicketReport {
+	return toTicketReport(r.res.Records.TicketsKept(sla.PositionalTicket(base, perSlot)))
+}
+
+// MinimalUniformTicket returns the smallest fixed promise that this run
+// would have kept for the given fraction of jobs — the tightest quote the
+// operator could have given in hindsight.
+func (r *Report) MinimalUniformTicket(fraction float64) float64 {
+	return r.res.Records.MinimalUniformTicket(fraction)
+}
+
+// SeriesCSV renders a series as two-column CSV.
+func SeriesCSV(name string, pts []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t,%s\n", name)
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%.3f,%.6g\n", p.T, p.V)
+	}
+	return b.String()
+}
+
+func toPoints(ts *stats.TimeSeries) []Point {
+	out := make([]Point, ts.Len())
+	for i, p := range ts.Points {
+		out[i] = Point{T: p.T, V: p.V}
+	}
+	return out
+}
