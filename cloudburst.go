@@ -127,6 +127,14 @@ type Options struct {
 	// Reporting.
 	OOToleranceJobs  int     // tolerance t_l for the OO metric (default 0)
 	OOSampleInterval float64 // seconds between OO samples (default 120)
+
+	// Trace, when set, receives the run's structured event stream (see
+	// trace.go: NewTraceRecorder, NewJSONLTracer, MultiTracer). Nil keeps
+	// tracing off with zero simulation-path cost.
+	Trace Tracer
+	// Audit additionally records the stream in memory so Report.Audit can
+	// independently recompute the SLA metrics after the run.
+	Audit bool
 }
 
 // ECSiteSpec describes one additional external-cloud provider.
@@ -148,6 +156,72 @@ func (o Options) withDefaults() Options {
 		o.OOSampleInterval = 120
 	}
 	return o
+}
+
+// validate rejects option values outside their meaningful domain with a
+// cloudburst:-prefixed error, so misconfigurations fail fast at the API
+// boundary instead of panicking deep inside the simulation substrates.
+func (o Options) validate() error {
+	switch {
+	case o.Batches < 0:
+		return fmt.Errorf("cloudburst: Batches %d must not be negative", o.Batches)
+	case o.MeanJobsPerBatch < 0:
+		return fmt.Errorf("cloudburst: MeanJobsPerBatch %v must not be negative", o.MeanJobsPerBatch)
+	case o.BatchIntervalSec < 0:
+		return fmt.Errorf("cloudburst: BatchIntervalSec %v must not be negative", o.BatchIntervalSec)
+	case o.ICMachines < 0:
+		return fmt.Errorf("cloudburst: ICMachines %d must not be negative", o.ICMachines)
+	case o.ECMachines < 0:
+		return fmt.Errorf("cloudburst: ECMachines %d must not be negative", o.ECMachines)
+	case o.UploadMeanBW < 0:
+		return fmt.Errorf("cloudburst: UploadMeanBW %v must not be negative", o.UploadMeanBW)
+	case o.DownloadMeanBW < 0:
+		return fmt.Errorf("cloudburst: DownloadMeanBW %v must not be negative", o.DownloadMeanBW)
+	case o.DiurnalAmplitude < 0 || o.DiurnalAmplitude > 1:
+		return fmt.Errorf("cloudburst: DiurnalAmplitude %v out of [0,1]", o.DiurnalAmplitude)
+	case o.JitterCV < 0:
+		return fmt.Errorf("cloudburst: JitterCV %v must not be negative", o.JitterCV)
+	case o.OutageMTBF < 0:
+		return fmt.Errorf("cloudburst: OutageMTBF %v must not be negative", o.OutageMTBF)
+	case o.OOToleranceJobs < 0:
+		return fmt.Errorf("cloudburst: OOToleranceJobs %d must not be negative", o.OOToleranceJobs)
+	case o.OOSampleInterval < 0:
+		return fmt.Errorf("cloudburst: OOSampleInterval %v must not be negative", o.OOSampleInterval)
+	}
+	if o.OutageMTBF > 0 {
+		if o.OutageMeanDuration < 0 {
+			return fmt.Errorf("cloudburst: OutageMeanDuration %v must not be negative", o.OutageMeanDuration)
+		}
+		if o.OutageThrottle < 0 || o.OutageThrottle >= 1 {
+			return fmt.Errorf("cloudburst: OutageThrottle %v out of [0,1)", o.OutageThrottle)
+		}
+	}
+	if o.AutoscaleECMax < 0 {
+		return fmt.Errorf("cloudburst: AutoscaleECMax %d must not be negative", o.AutoscaleECMax)
+	}
+	if o.AutoscaleECMax > 0 {
+		switch {
+		case o.AutoscaleBootDelay < 0:
+			return fmt.Errorf("cloudburst: AutoscaleBootDelay %v must not be negative", o.AutoscaleBootDelay)
+		case o.AutoscaleTargetWait < 0:
+			return fmt.Errorf("cloudburst: AutoscaleTargetWait %v must not be negative", o.AutoscaleTargetWait)
+		case o.ECMachines > o.AutoscaleECMax:
+			return fmt.Errorf("cloudburst: ECMachines %d exceeds AutoscaleECMax %d", o.ECMachines, o.AutoscaleECMax)
+		}
+	}
+	for i, s := range o.ExtraECSites {
+		switch {
+		case s.Machines < 0:
+			return fmt.Errorf("cloudburst: ExtraECSites[%d].Machines %d must not be negative", i, s.Machines)
+		case s.UploadMeanBW < 0:
+			return fmt.Errorf("cloudburst: ExtraECSites[%d].UploadMeanBW %v must not be negative", i, s.UploadMeanBW)
+		case s.DownloadMeanBW < 0:
+			return fmt.Errorf("cloudburst: ExtraECSites[%d].DownloadMeanBW %v must not be negative", i, s.DownloadMeanBW)
+		case s.JitterCV < 0:
+			return fmt.Errorf("cloudburst: ExtraECSites[%d].JitterCV %v must not be negative", i, s.JitterCV)
+		}
+	}
+	return nil
 }
 
 func (o Options) bucket() (workload.Bucket, error) {
@@ -242,6 +316,9 @@ func (o Options) engineConfig() engine.Config {
 // deterministic: identical Options yield identical reports.
 func Run(o Options) (*Report, error) {
 	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	bucket, err := o.bucket()
 	if err != nil {
 		return nil, err
@@ -260,11 +337,19 @@ func Run(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(o.engineConfig(), s, gen.Generate())
+	cfg := o.engineConfig()
+	var rec *TraceRecorder
+	tracer := o.Trace
+	if o.Audit {
+		rec = NewTraceRecorder()
+		tracer = MultiTracer(tracer, rec)
+	}
+	cfg.Tracer = tracer
+	res, err := engine.Run(cfg, s, gen.Generate())
 	if err != nil {
 		return nil, err
 	}
-	return newReport(o, res), nil
+	return newReport(o, res, rec), nil
 }
 
 // Compare runs the same workload and network under several schedulers and

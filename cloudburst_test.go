@@ -343,12 +343,64 @@ func TestOutageValidation(t *testing.T) {
 	o := fastOpts(Greedy)
 	o.OutageMTBF = 300
 	o.OutageThrottle = 1.5 // invalid
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid throttle did not panic")
-		}
-	}()
-	_, _ = Run(o)
+	_, err := Run(o)
+	if err == nil {
+		t.Fatal("invalid throttle did not error")
+	}
+	if !strings.HasPrefix(err.Error(), "cloudburst:") {
+		t.Fatalf("error not cloudburst-prefixed: %v", err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string // substring of the expected error
+	}{
+		{"negative batches", func(o *Options) { o.Batches = -1 }, "Batches"},
+		{"negative jobs per batch", func(o *Options) { o.MeanJobsPerBatch = -3 }, "MeanJobsPerBatch"},
+		{"negative batch interval", func(o *Options) { o.BatchIntervalSec = -1 }, "BatchIntervalSec"},
+		{"negative IC machines", func(o *Options) { o.ICMachines = -2 }, "ICMachines"},
+		{"negative EC machines", func(o *Options) { o.ECMachines = -2 }, "ECMachines"},
+		{"negative upload BW", func(o *Options) { o.UploadMeanBW = -1 }, "UploadMeanBW"},
+		{"negative download BW", func(o *Options) { o.DownloadMeanBW = -1 }, "DownloadMeanBW"},
+		{"amplitude above one", func(o *Options) { o.DiurnalAmplitude = 1.5 }, "DiurnalAmplitude"},
+		{"negative amplitude", func(o *Options) { o.DiurnalAmplitude = -0.1 }, "DiurnalAmplitude"},
+		{"negative jitter", func(o *Options) { o.JitterCV = -0.2 }, "JitterCV"},
+		{"negative outage MTBF", func(o *Options) { o.OutageMTBF = -5 }, "OutageMTBF"},
+		{"negative outage duration", func(o *Options) { o.OutageMTBF = 300; o.OutageMeanDuration = -1 }, "OutageMeanDuration"},
+		{"throttle out of range", func(o *Options) { o.OutageMTBF = 300; o.OutageThrottle = -0.5 }, "OutageThrottle"},
+		{"negative autoscale max", func(o *Options) { o.AutoscaleECMax = -1 }, "AutoscaleECMax"},
+		{"negative boot delay", func(o *Options) { o.AutoscaleECMax = 4; o.AutoscaleBootDelay = -1 }, "AutoscaleBootDelay"},
+		{"negative target wait", func(o *Options) { o.AutoscaleECMax = 4; o.AutoscaleTargetWait = -1 }, "AutoscaleTargetWait"},
+		{"fleet above autoscale max", func(o *Options) { o.AutoscaleECMax = 2; o.ECMachines = 5 }, "AutoscaleECMax"},
+		{"negative OO tolerance", func(o *Options) { o.OOToleranceJobs = -1 }, "OOToleranceJobs"},
+		{"negative OO interval", func(o *Options) { o.OOSampleInterval = -60 }, "OOSampleInterval"},
+		{"negative site machines", func(o *Options) { o.ExtraECSites = []ECSiteSpec{{Machines: -1}} }, "ExtraECSites[0].Machines"},
+		{"negative site upload BW", func(o *Options) { o.ExtraECSites = []ECSiteSpec{{UploadMeanBW: -1}} }, "ExtraECSites[0].UploadMeanBW"},
+		{"negative site jitter", func(o *Options) { o.ExtraECSites = []ECSiteSpec{{JitterCV: -1}} }, "ExtraECSites[0].JitterCV"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := fastOpts(OrderPreserving)
+			tc.mut(&o)
+			_, err := Run(o)
+			if err == nil {
+				t.Fatal("invalid options did not error")
+			}
+			if !strings.HasPrefix(err.Error(), "cloudburst:") {
+				t.Fatalf("error not cloudburst-prefixed: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+	// The zero value plus defaults must stay valid.
+	if _, err := Run(Options{Batches: 1, MeanJobsPerBatch: 2}); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
 }
 
 func TestAutoscaleECOption(t *testing.T) {

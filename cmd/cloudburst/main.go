@@ -6,12 +6,14 @@
 //	cloudburst -scheduler Op -bucket large -jitter 0.5
 //	cloudburst -compare -bucket uniform
 //	cloudburst -scheduler Greedy -csv oo > oo.csv
+//	cloudburst -trace events.jsonl -chrome-trace timeline.json -audit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cloudburst"
 )
@@ -34,8 +36,17 @@ func main() {
 		sites     = flag.Int("sites", 0, "extra external-cloud providers with independent pipes")
 		outages   = flag.Float64("outage-mtbf", 0, "inject hard outages with this mean time between (seconds, 0 = off)")
 		ticket    = flag.Float64("ticket", 0, "also report how a fixed completion promise of this many seconds fared")
+		traceOut  = flag.String("trace", "", "stream the run's event trace to this file as JSON lines")
+		chromeOut = flag.String("chrome-trace", "", "write the run's timeline to this file in Chrome trace-event format (open in chrome://tracing)")
+		audit     = flag.Bool("audit", false, "replay the event trace through the independent SLA auditor and print its summary")
 	)
 	flag.Parse()
+
+	switch *csvOut {
+	case "", "oo", "completions", "waits":
+	default:
+		fatal(fmt.Errorf("unknown -csv series %q (want oo, completions, waits)", *csvOut))
+	}
 
 	opts := cloudburst.Options{
 		Scheduler:        cloudburst.SchedulerName(*scheduler),
@@ -56,6 +67,9 @@ func main() {
 	}
 
 	if *compare {
+		if *traceOut != "" || *chromeOut != "" || *audit {
+			fatal(fmt.Errorf("-trace, -chrome-trace and -audit trace a single run; drop -compare"))
+		}
 		reports, err := cloudburst.Compare(opts)
 		if err != nil {
 			fatal(err)
@@ -76,10 +90,34 @@ func main() {
 		return
 	}
 
+	var jsonl *cloudburst.JSONLTracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		jsonl = cloudburst.NewJSONLTracer(f)
+		opts.Trace = jsonl
+	}
+	// The Chrome exporter and the auditor both replay the full stream, so
+	// either one needs the run recorded.
+	opts.Audit = *audit || *chromeOut != ""
+
 	report, err := cloudburst.Run(opts)
+	if jsonl != nil {
+		if cerr := jsonl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
+	if *chromeOut != "" {
+		if err := writeChromeTrace(*chromeOut, report.TraceEvents()); err != nil {
+			fatal(err)
+		}
+	}
+
 	switch *csvOut {
 	case "":
 		fmt.Print(report)
@@ -98,12 +136,35 @@ func main() {
 		fmt.Print(cloudburst.SeriesCSV("completed_at", report.CompletionSeries()))
 	case "waits":
 		fmt.Print(cloudburst.SeriesCSV("inorder_wait", report.InOrderWaitSeries()))
-	default:
-		fatal(fmt.Errorf("unknown -csv series %q (want oo, completions, waits)", *csvOut))
+	}
+
+	if *audit {
+		a, err := report.Audit()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(a.Summary())
+		if !a.OK() {
+			fatal(fmt.Errorf("audit found %d integrity issue(s)", len(a.Issues)))
+		}
 	}
 }
 
+func writeChromeTrace(path string, events []cloudburst.TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cloudburst.WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cloudburst:", err)
+	// Library errors already carry the cloudburst: prefix.
+	fmt.Fprintln(os.Stderr, "cloudburst:", strings.TrimPrefix(err.Error(), "cloudburst: "))
 	os.Exit(1)
 }

@@ -98,6 +98,11 @@ type Cluster struct {
 	// OnIdle fires whenever the cluster transitions to fully idle (no
 	// running or queued tasks); the rescheduling strategies hook it.
 	OnIdle func(c *Cluster)
+	// OnTaskStart/OnTaskEnd fire for every task the cluster starts or
+	// finishes, including map-reduce subtasks the engine never sees
+	// directly. The tracing subsystem hooks them; both are optional.
+	OnTaskStart func(at float64, t *Task, m *Machine)
+	OnTaskEnd   func(at float64, t *Task, m *Machine)
 }
 
 // New creates a cluster whose machines have the given speed factors.
@@ -172,6 +177,9 @@ func (c *Cluster) start(m *Machine, t *Task) {
 	t.StartedAt = now
 	m.running = t
 	m.runningFrom = now
+	if c.OnTaskStart != nil {
+		c.OnTaskStart(now, t, m)
+	}
 	if t.OnStart != nil {
 		t.OnStart(now, t, m)
 	}
@@ -183,6 +191,9 @@ func (c *Cluster) start(m *Machine, t *Task) {
 		c.completed++
 		if m.draining {
 			c.retire(m)
+		}
+		if c.OnTaskEnd != nil {
+			c.OnTaskEnd(c.eng.Now(), t, m)
 		}
 		if t.OnDone != nil {
 			t.OnDone(c.eng.Now(), t, m)

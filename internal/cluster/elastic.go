@@ -46,17 +46,23 @@ func (c *Cluster) Drain(m *Machine) bool {
 // DrainOneIdle drains (and immediately retires) one idle machine, keeping
 // at least min active. It returns true if a machine was retired.
 func (c *Cluster) DrainOneIdle(min int) bool {
+	return c.DrainIdleMachine(min) != nil
+}
+
+// DrainIdleMachine is DrainOneIdle reporting which machine retired (nil
+// when none was), so callers can account or trace the rental end.
+func (c *Cluster) DrainIdleMachine(min int) *Machine {
 	if len(c.machines) <= min {
-		return false
+		return nil
 	}
 	for _, m := range c.machines {
 		if !m.Busy() && !m.draining {
 			m.draining = true
 			c.retire(m)
-			return true
+			return m
 		}
 	}
-	return false
+	return nil
 }
 
 func (c *Cluster) retire(m *Machine) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cloudburst/internal/sim"
+	"cloudburst/internal/trace"
 )
 
 // AutoscaleConfig drives elastic external-cloud capacity — the paper's
@@ -89,11 +90,23 @@ func (a *autoscaler) tick() {
 		a.bootCount++
 		e.eng.ScheduleAfter(a.cfg.BootDelay, func() {
 			a.pendingBoots--
-			e.ec.AddMachine(e.cfg.ECSpeed)
+			m := e.ec.AddMachine(e.cfg.ECSpeed)
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{
+					Type: trace.AutoscaleBoot, T: e.eng.Now(),
+					Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),
+				})
+			}
 		})
 	case wait < a.cfg.TargetWait/2 && a.pendingBoots == 0:
-		if e.ec.DrainOneIdle(a.cfg.Min) {
+		if m := e.ec.DrainIdleMachine(a.cfg.Min); m != nil {
 			a.drainCount++
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{
+					Type: trace.AutoscaleDrain, T: e.eng.Now(),
+					Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),
+				})
+			}
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"cloudburst/internal/sched"
 	"cloudburst/internal/sim"
 	"cloudburst/internal/sla"
+	"cloudburst/internal/trace"
 )
 
 // Config parameterizes a run. Zero values take defaults mirroring the
@@ -74,6 +75,12 @@ type Config struct {
 
 	// Safety valve: abort if the virtual clock passes this (default 30 days).
 	MaxVirtualTime float64
+
+	// Tracer, when set, receives the structured event stream (package
+	// trace): arrivals, decisions with rationale, transfers, compute
+	// intervals, probes, outages, autoscale actions and deliveries. A nil
+	// Tracer disables tracing with zero hot-path cost.
+	Tracer trace.Tracer
 
 	// OnBatch, when set, receives a trace record after each scheduling
 	// round — the observable state the scheduler saw and what it decided.
@@ -291,8 +298,9 @@ type jobState struct {
 
 // Engine is one run's mutable state.
 type Engine struct {
-	cfg   Config
-	sched sched.Scheduler
+	cfg    Config
+	sched  sched.Scheduler
+	tracer trace.Tracer // nil disables all event emission
 
 	eng       *sim.Engine
 	ic        *cluster.Cluster

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"cloudburst/internal/sched"
+	"cloudburst/internal/trace"
 )
 
 // reschedule implements the periodic strategies sketched in Sec. IV-D for
@@ -27,6 +28,12 @@ func (e *Engine) stealBack() {
 		js := it.Meta.(*jobState)
 		js.uploadItem = nil
 		js.place = sched.PlaceIC
+		if e.tracer != nil {
+			e.tracer.Emit(trace.Event{
+				Type: trace.Rescheduled, T: e.eng.Now(),
+				JobID: js.j.ID, Seq: js.seq, From: "EC", To: "IC",
+			})
+		}
 		e.submitIC(js)
 	}
 }
@@ -61,6 +68,13 @@ func (e *Engine) idlePull() {
 			if e.ic.Withdraw(t) {
 				js.icTask = nil
 				js.place = sched.PlaceEC
+				if e.tracer != nil {
+					e.tracer.Emit(trace.Event{
+						Type: trace.Rescheduled, T: e.eng.Now(),
+						JobID: js.j.ID, Seq: js.seq, From: "IC", To: "EC",
+						EstProc: est, EstEC: tec, Threshold: slack, Gated: true,
+					})
+				}
 				e.submitUpload(js)
 			}
 			return

@@ -11,6 +11,7 @@ import (
 	"cloudburst/internal/sim"
 	"cloudburst/internal/sla"
 	"cloudburst/internal/stats"
+	"cloudburst/internal/trace"
 	"cloudburst/internal/workload"
 )
 
@@ -28,6 +29,7 @@ func runWithHook(cfg Config, s sched.Scheduler, batches []workload.Batch, hook f
 	e := &Engine{
 		cfg:     cfg,
 		sched:   s,
+		tracer:  cfg.Tracer,
 		eng:     sim.NewEngine(),
 		states:  make(map[*job.Job]*jobState),
 		records: sla.NewSet(),
@@ -39,6 +41,16 @@ func runWithHook(cfg Config, s sched.Scheduler, batches []workload.Batch, hook f
 			return nil, err
 		}
 		e.scaler = scaler
+	}
+	if e.tracer != nil {
+		// RunConfigured opens the stream with the cluster shape so the
+		// auditor can recompute utilization denominators from events alone.
+		e.tracer.Emit(trace.Event{
+			Type: trace.RunConfigured, T: e.eng.Now(),
+			ICMachines: cfg.ICMachines, ECMachines: cfg.ECMachines,
+			ECSpeed: cfg.ECSpeed, Autoscale: cfg.Autoscale != nil,
+			Scheduler: s.Name(),
+		})
 	}
 	if hook != nil {
 		hook(e)
@@ -85,6 +97,8 @@ func (e *Engine) build() {
 	netRNG := stats.NewRNG(cfg.NetSeed + 1)
 	e.ic = cluster.Uniform(e.eng, "ic", cfg.ICMachines, cfg.ICSpeed)
 	e.ec = cluster.Uniform(e.eng, "ec", cfg.ECMachines, cfg.ECSpeed)
+	e.attachClusterTrace(e.ic)
+	e.attachClusterTrace(e.ec)
 	e.uplink = netsim.NewLink(e.eng, netsim.LinkConfig{
 		Name:           "uplink",
 		Profile:        cfg.UploadProfile,
@@ -92,6 +106,7 @@ func (e *Engine) build() {
 		ResamplePeriod: cfg.ResamplePeriod,
 		Threads:        cfg.ThreadModel,
 		Outages:        cfg.Outages,
+		OnOutage:       e.outageTrace("uplink"),
 	}, netRNG.Fork())
 	e.downlink = netsim.NewLink(e.eng, netsim.LinkConfig{
 		Name:           "downlink",
@@ -100,6 +115,7 @@ func (e *Engine) build() {
 		ResamplePeriod: cfg.ResamplePeriod,
 		Threads:        cfg.ThreadModel,
 		Outages:        cfg.Outages,
+		OnOutage:       e.outageTrace("downlink"),
 	}, netRNG.Fork())
 	e.upPred = netsim.NewPredictor(cfg.PredictorSlots, cfg.PredictorAlpha, cfg.PriorBW)
 	e.downPred = netsim.NewPredictor(cfg.PredictorSlots, cfg.PredictorAlpha, cfg.PriorBW)
@@ -127,6 +143,7 @@ func (e *Engine) build() {
 			Period: cfg.ProbePeriod,
 			Bytes:  cfg.ProbeBytes,
 		})
+		e.attachProbeTrace(e.prober, "uplink")
 	}
 
 	e.buildSites(netRNG)
@@ -227,6 +244,16 @@ func (e *Engine) state() *sched.State {
 // onBatch is step (3)-(4) of the architecture: the controller picks up the
 // batch and invokes the scheduler.
 func (e *Engine) onBatch(b workload.Batch) {
+	if e.tracer != nil {
+		for _, j := range b.Jobs {
+			e.tracer.Emit(trace.Event{
+				Type: trace.JobArrived, T: e.eng.Now(),
+				JobID: j.ID, Seq: -1, Batch: b.Index,
+				Arrival: j.ArrivalTime, StdSeconds: j.TrueProcTime,
+				Bytes: j.InputSize, OutputBytes: j.OutputSize,
+			})
+		}
+	}
 	before := e.alloc.Peek()
 	st := e.state()
 	decisions := e.sched.Schedule(b.Jobs, st, e.alloc)
@@ -266,6 +293,25 @@ func (e *Engine) onBatch(b workload.Batch) {
 		js := &jobState{j: d.Job, seq: e.seqNext, place: d.Place}
 		e.seqNext++
 		e.states[d.Job] = js
+		if e.tracer != nil {
+			if d.Job.IsChunk() {
+				e.tracer.Emit(trace.Event{
+					Type: trace.Chunked, T: e.eng.Now(),
+					JobID: d.Job.ID, Seq: -1, Parent: d.Job.ParentID, Batch: b.Index,
+					Arrival: d.Job.ArrivalTime, StdSeconds: d.Job.TrueProcTime,
+					Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
+				})
+			}
+			e.tracer.Emit(trace.Event{
+				Type: trace.PlacementDecided, T: e.eng.Now(),
+				JobID: d.Job.ID, Seq: js.seq, Batch: b.Index,
+				Where: d.Place.String(), Site: d.Site,
+				EstProc: d.EstProcStd, EstEC: d.EstEC,
+				Threshold: d.Threshold, Gated: d.Gated,
+				Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
+				Arrival: d.Job.ArrivalTime,
+			})
+		}
 		switch {
 		case d.Place == sched.PlaceIC:
 			e.submitIC(js)
@@ -297,6 +343,12 @@ func (e *Engine) submitIC(js *jobState) {
 // submitUpload starts the EC path: upload, remote compute, download.
 func (e *Engine) submitUpload(js *jobState) {
 	js.scheduledAt = e.eng.Now()
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{
+			Type: trace.UploadStart, T: js.scheduledAt,
+			JobID: js.j.ID, Seq: js.seq, Link: "upload", Bytes: js.j.InputSize,
+		})
+	}
 	it := &netsim.QueueItem{
 		Bytes: js.j.InputSize,
 		Meta:  js,
@@ -304,6 +356,12 @@ func (e *Engine) submitUpload(js *jobState) {
 			js.uploadItem = nil
 			js.uploadDone = at
 			e.uploadedBytes += it.Bytes
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{
+					Type: trace.UploadEnd, T: at,
+					JobID: js.j.ID, Seq: js.seq, Link: "upload", Bytes: it.Bytes, BW: bw,
+				})
+			}
 			e.submitEC(js)
 		},
 	}
@@ -334,11 +392,23 @@ func (e *Engine) submitEC(js *jobState) {
 func (e *Engine) submitDownload(js *jobState, at float64) {
 	js.downloading = true
 	js.computeDone = at
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{
+			Type: trace.DownloadStart, T: at,
+			JobID: js.j.ID, Seq: js.seq, Link: "download", Bytes: js.j.OutputSize,
+		})
+	}
 	e.downQ.Enqueue(&netsim.QueueItem{
 		Bytes: js.j.OutputSize,
 		Meta:  js,
 		OnDone: func(doneAt float64, it *netsim.QueueItem, bw float64) {
 			e.downloadedBytes += it.Bytes
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{
+					Type: trace.DownloadEnd, T: doneAt,
+					JobID: js.j.ID, Seq: js.seq, Link: "download", Bytes: it.Bytes, BW: bw,
+				})
+			}
 			e.complete(js, doneAt, sla.EC)
 			if e.cfg.OnECJob != nil {
 				e.cfg.OnECJob(ECTrace{
@@ -383,6 +453,14 @@ func (e *Engine) complete(js *jobState, at float64, where sla.Where) {
 		CompletedAt: at,
 		Where:       where,
 	})
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{
+			Type: trace.JobDelivered, T: at,
+			JobID: js.j.ID, Seq: js.seq, Batch: js.j.BatchID,
+			Where: where.String(), Site: js.site,
+			Arrival: js.j.ArrivalTime, OutputBytes: js.j.OutputSize,
+		})
+	}
 }
 
 // result assembles the summary after the run.

@@ -8,6 +8,7 @@ import (
 	"cloudburst/internal/sched"
 	"cloudburst/internal/sla"
 	"cloudburst/internal/stats"
+	"cloudburst/internal/trace"
 )
 
 // RemoteSiteConfig describes one additional external cloud beyond the
@@ -58,6 +59,7 @@ func (e *Engine) buildSites(netRNG *stats.RNG) {
 		}
 		s := &ecSite{cfg: rc}
 		s.cluster = cluster.Uniform(e.eng, fmt.Sprintf("ec%d", i+1), rc.Machines, rc.Speed)
+		e.attachClusterTrace(s.cluster)
 		s.uplink = netsim.NewLink(e.eng, netsim.LinkConfig{
 			Name:           fmt.Sprintf("uplink%d", i+1),
 			Profile:        rc.UploadProfile,
@@ -65,6 +67,7 @@ func (e *Engine) buildSites(netRNG *stats.RNG) {
 			ResamplePeriod: e.cfg.ResamplePeriod,
 			Threads:        e.cfg.ThreadModel,
 			Outages:        e.cfg.Outages,
+			OnOutage:       e.outageTrace(fmt.Sprintf("uplink%d", i+1)),
 		}, netRNG.Fork())
 		s.downlink = netsim.NewLink(e.eng, netsim.LinkConfig{
 			Name:           fmt.Sprintf("downlink%d", i+1),
@@ -73,6 +76,7 @@ func (e *Engine) buildSites(netRNG *stats.RNG) {
 			ResamplePeriod: e.cfg.ResamplePeriod,
 			Threads:        e.cfg.ThreadModel,
 			Outages:        e.cfg.Outages,
+			OnOutage:       e.outageTrace(fmt.Sprintf("downlink%d", i+1)),
 		}, netRNG.Fork())
 		s.upPred = netsim.NewPredictor(e.cfg.PredictorSlots, e.cfg.PredictorAlpha, e.cfg.PriorBW)
 		s.downPred = netsim.NewPredictor(e.cfg.PredictorSlots, e.cfg.PredictorAlpha, e.cfg.PriorBW)
@@ -87,6 +91,7 @@ func (e *Engine) buildSites(netRNG *stats.RNG) {
 				Period: e.cfg.ProbePeriod,
 				Bytes:  e.cfg.ProbeBytes,
 			})
+			e.attachProbeTrace(s.prober, fmt.Sprintf("uplink%d", i+1))
 		}
 		e.sites = append(e.sites, s)
 	}
@@ -148,6 +153,13 @@ func minF(a, b float64) float64 {
 func (e *Engine) submitUploadSite(js *jobState, s *ecSite) {
 	js.scheduledAt = e.eng.Now()
 	s.bursts++
+	link := fmt.Sprintf("upload%d", js.site)
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{
+			Type: trace.UploadStart, T: js.scheduledAt,
+			JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: js.j.InputSize,
+		})
+	}
 	it := &netsim.QueueItem{
 		Bytes: js.j.InputSize,
 		Meta:  js,
@@ -155,6 +167,12 @@ func (e *Engine) submitUploadSite(js *jobState, s *ecSite) {
 			js.uploadItem = nil
 			js.uploadDone = at
 			e.uploadedBytes += it.Bytes
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{
+					Type: trace.UploadEnd, T: at,
+					JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: it.Bytes, BW: bw,
+				})
+			}
 			e.submitECSite(js, s)
 		},
 	}
@@ -176,11 +194,24 @@ func (e *Engine) submitECSite(js *jobState, s *ecSite) {
 func (e *Engine) submitDownloadSite(js *jobState, s *ecSite, at float64) {
 	js.downloading = true
 	js.computeDone = at
+	link := fmt.Sprintf("download%d", js.site)
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{
+			Type: trace.DownloadStart, T: at,
+			JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: js.j.OutputSize,
+		})
+	}
 	s.downQ.Enqueue(&netsim.QueueItem{
 		Bytes: js.j.OutputSize,
 		Meta:  js,
 		OnDone: func(doneAt float64, it *netsim.QueueItem, bw float64) {
 			e.downloadedBytes += it.Bytes
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{
+					Type: trace.DownloadEnd, T: doneAt,
+					JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: it.Bytes, BW: bw,
+				})
+			}
 			e.complete(js, doneAt, sla.EC)
 		},
 	})

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/trace"
+)
+
+// Tracing glue: every hook here is installed only when a Tracer is
+// configured, and every inline emission in the pipeline is guarded by a
+// single nil check, so a run without tracing pays no event construction
+// and no interface calls (the package trace performance contract).
+
+// attachClusterTrace emits ComputeStart/ComputeEnd for every task the
+// cluster runs — including map-reduce subtasks the engine never sees.
+func (e *Engine) attachClusterTrace(c *cluster.Cluster) {
+	if e.tracer == nil {
+		return
+	}
+	name := c.Name
+	c.OnTaskStart = func(at float64, t *cluster.Task, m *cluster.Machine) {
+		e.tracer.Emit(trace.Event{
+			Type: trace.ComputeStart, T: at,
+			Cluster: name, Machine: m.ID, JobID: taskJobID(t),
+		})
+	}
+	c.OnTaskEnd = func(at float64, t *cluster.Task, m *cluster.Machine) {
+		e.tracer.Emit(trace.Event{
+			Type: trace.ComputeEnd, T: at,
+			Cluster: name, Machine: m.ID, JobID: taskJobID(t),
+		})
+	}
+}
+
+func taskJobID(t *cluster.Task) int {
+	if t.Job != nil {
+		return t.Job.ID
+	}
+	return -1
+}
+
+// outageTrace returns a LinkConfig.OnOutage callback emitting
+// OutageStart/OutageEnd for the named link, or nil when tracing is off.
+func (e *Engine) outageTrace(link string) func(at float64, active bool) {
+	if e.tracer == nil {
+		return nil
+	}
+	return func(at float64, active bool) {
+		typ := trace.OutageEnd
+		if active {
+			typ = trace.OutageStart
+		}
+		e.tracer.Emit(trace.Event{Type: typ, T: at, Link: link})
+	}
+}
+
+// attachProbeTrace emits ProbeCompleted with the measured path bandwidth.
+func (e *Engine) attachProbeTrace(p *netsim.Prober, link string) {
+	if e.tracer == nil || p == nil {
+		return
+	}
+	p.OnProbe = func(at, pathBW float64) {
+		e.tracer.Emit(trace.Event{Type: trace.ProbeCompleted, T: at, Link: link, BW: pathBW})
+	}
+}

@@ -114,6 +114,11 @@ type LinkConfig struct {
 	ResamplePeriod float64 // seconds between jitter resamples (default 60)
 	Threads        ThreadModel
 	Outages        *OutageModel // optional throttling/outage episodes
+	// OnOutage fires on every outage episode transition with the actual
+	// transition time and the new state (true = episode begins). Because
+	// outage evaluation is lazy, the callback may run at a later link event
+	// than the transition time it reports. Optional.
+	OnOutage func(at float64, active bool)
 }
 
 // NewLink attaches a link to the engine. rng drives the jitter and must be
@@ -146,6 +151,7 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, rng *stats.RNG) *Link {
 			panic(err)
 		}
 		l.outage = newOutageState(*cfg.Outages, rng.Fork(), eng.Now())
+		l.outage.onChange = cfg.OnOutage
 	}
 	l.resampleJitter()
 	return l

@@ -40,6 +40,12 @@ type outageState struct {
 	active    bool
 	until     float64 // episode end, valid while active
 	nextStart float64 // next episode start, valid while !active
+
+	// onChange fires on every episode transition with the *actual*
+	// transition time, which — because evaluation is lazy — may lie before
+	// the link event that detected it. Consumers needing chronology must
+	// sort by time.
+	onChange func(at float64, active bool)
 }
 
 func newOutageState(model OutageModel, rng *stats.RNG, now float64) *outageState {
@@ -57,14 +63,22 @@ func (o *outageState) step(now float64) {
 			if now < o.until {
 				return
 			}
+			end := o.until
 			o.active = false
-			o.nextStart = o.until + o.rng.Exponential(o.model.MeanTimeBetween)
+			o.nextStart = end + o.rng.Exponential(o.model.MeanTimeBetween)
+			if o.onChange != nil {
+				o.onChange(end, false)
+			}
 		} else {
 			if now < o.nextStart {
 				return
 			}
+			start := o.nextStart
 			o.active = true
-			o.until = o.nextStart + o.rng.Exponential(o.model.MeanDuration)
+			o.until = start + o.rng.Exponential(o.model.MeanDuration)
+			if o.onChange != nil {
+				o.onChange(start, true)
+			}
 		}
 	}
 }

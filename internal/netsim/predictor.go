@@ -98,6 +98,11 @@ type Prober struct {
 	ticker    *sim.Ticker
 	inFlight  bool
 	count     int
+
+	// OnProbe fires after each completed probe with the measured path
+	// bandwidth (concurrency-corrected bytes/sec). Optional; the tracing
+	// subsystem hooks it.
+	OnProbe func(at, pathBW float64)
 }
 
 // ProberConfig parameterizes NewProber.
@@ -136,6 +141,9 @@ func (p *Prober) probe() {
 		p.predictor.Observe(at, tr.PathBW(at))
 		if p.tuner != nil {
 			p.tuner.Observe(at, tr.AchievedBW(at))
+		}
+		if p.OnProbe != nil {
+			p.OnProbe(at, tr.PathBW(at))
 		}
 	})
 }

@@ -53,12 +53,14 @@ func (Greedy) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Dec
 		// ft^ic: wait for the aggregate IC backlog, then process.
 		tic := st.ICBacklogStd/(float64(max1(st.ICMachines))*st.ICSpeed) + est/st.ICSpeed
 		site, tec := bestSite(pipes, j, est)
+		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: tic, Gated: true}
 		if tic <= tec {
-			out = append(out, Decision{Job: j, Place: PlaceIC})
+			d.Place = PlaceIC
 		} else {
 			pipes[site].commit(j, est)
-			out = append(out, Decision{Job: j, Place: PlaceEC, Site: site})
+			d.Place, d.Site = PlaceEC, site
 		}
+		out = append(out, d)
 	}
 	return out
 }
@@ -89,13 +91,15 @@ func (GreedyTracking) Schedule(batch []*job.Job, st *State, alloc job.IDAllocato
 		est := st.estProc(j)
 		tic := peekPool(ic, est)
 		site, tec := bestSite(pipes, j, est)
+		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: tic, Gated: true}
 		if tic <= tec {
 			ic.add(est, 0)
-			out = append(out, Decision{Job: j, Place: PlaceIC})
+			d.Place = PlaceIC
 		} else {
 			pipes[site].commit(j, est)
-			out = append(out, Decision{Job: j, Place: PlaceEC, Site: site})
+			d.Place, d.Site = PlaceEC, site
 		}
+		out = append(out, d)
 	}
 	return out
 }
@@ -215,16 +219,18 @@ func placeWithSlack(jobs []*job.Job, st *State, cfg Config) []Decision {
 		est := st.estProc(j)
 		site, tec := bestSite(pipes, j, est)
 		slack := maxICCompletion - cfg.SlackMargin
+		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: slack, Gated: true}
 		if tec <= slack {
 			pipes[site].commit(j, est)
-			out = append(out, Decision{Job: j, Place: PlaceEC, Site: site})
+			d.Place, d.Site = PlaceEC, site
 		} else {
 			done := ic.add(est, 0)
-			out = append(out, Decision{Job: j, Place: PlaceIC})
+			d.Place = PlaceIC
 			if done > maxICCompletion {
 				maxICCompletion = done
 			}
 		}
+		out = append(out, d)
 	}
 	return out
 }

@@ -39,6 +39,20 @@ type Decision struct {
 	Job   *job.Job
 	Place Placement
 	Site  int
+
+	// Decision rationale, for tracing and the SLA auditor. When Gated is
+	// true the placement came from comparing EstEC — the estimated EC
+	// round-trip completion offset (seconds from now) — against Threshold:
+	// the slack for the order-preserving schedulers, the estimated IC
+	// finish for the greedy ones. A job went EC iff EstEC ≤ Threshold held
+	// (up to tie-breaking); the auditor re-checks both the admission and
+	// the realized round trip against Threshold. EstProcStd is the QRSM
+	// estimate the comparison used. ICOnly leaves Gated false: it never
+	// consults the estimators.
+	EstProcStd float64
+	EstEC      float64
+	Threshold  float64
+	Gated      bool
 }
 
 // State is the observable system state a scheduler may consult: local queue

@@ -1,0 +1,423 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The auditor replays an event stream and recomputes the paper's SLA
+// metrics from scratch — makespan (eq. 7), speedup (eq. 10), burst ratio
+// (eq. 12), utilization (eq. 9), and the OO series (eq. 3–6) — without
+// consulting the engine's accounting. It also verifies, per bursted job,
+// the slack condition the job was admitted under: the estimated round trip
+// had to fit inside the admission threshold, and the realized round trip is
+// compared against both to flag mispredictions of the QRSM / bandwidth
+// models. Any structural inconsistency in the stream (duplicate deliveries,
+// time travel, bursts with missing transfer legs, deliveries that no
+// placement explains) is reported as an Issue.
+
+// AuditOptions tunes the replay.
+type AuditOptions struct {
+	// OOSampleInterval is the OO sampling grid in seconds (default 120,
+	// matching the report default).
+	OOSampleInterval float64
+	// OOTolerance is t_l in jobs (default 0).
+	OOTolerance int
+	// Epsilon absorbs float round-off in admission checks (default 1e-9).
+	Epsilon float64
+}
+
+func (o AuditOptions) withDefaults() AuditOptions {
+	if o.OOSampleInterval == 0 {
+		o.OOSampleInterval = 120
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-9
+	}
+	return o
+}
+
+// SlackCheck is the audit of one bursted job's admission.
+type SlackCheck struct {
+	JobID int
+	Seq   int
+	// EstEC is the estimated round trip the scheduler admitted the burst
+	// with; Threshold is what it was compared against (the slack).
+	EstEC     float64
+	Threshold float64
+	// Realized is the measured round trip: delivery time minus admission
+	// time.
+	Realized float64
+	// Violated means the realized round trip exceeded the admission
+	// threshold — the burst landed on the critical path despite the slack
+	// rule, i.e. the models mispredicted.
+	Violated bool
+}
+
+// EstimateError returns realized minus estimated round trip (positive:
+// the models were optimistic).
+func (c SlackCheck) EstimateError() float64 { return c.Realized - c.EstEC }
+
+// AuditPoint is one sample of the recomputed OO series.
+type AuditPoint struct {
+	T float64
+	V float64
+}
+
+// Audit is the auditor's independent view of a run.
+type Audit struct {
+	// Recomputed SLA metrics.
+	Jobs       int
+	Makespan   float64
+	Speedup    float64
+	BurstRatio float64
+	ICUtil     float64
+	ECUtil     float64
+	OOSeries   []AuditPoint
+
+	// Slack verification over every delivered burst. Checked counts the
+	// gated admissions verified; Mispredictions lists those whose realized
+	// round trip overran the admission threshold; AdmissionViolations lists
+	// bursts whose *estimate* already exceeded the threshold when admitted —
+	// a scheduler bug, not a model error.
+	Checks              []SlackCheck
+	Checked             int
+	Mispredictions      []SlackCheck
+	AdmissionViolations []SlackCheck
+
+	// Issues are structural inconsistencies in the stream itself. A healthy
+	// engine run always audits clean.
+	Issues []string
+
+	// Stream accounting.
+	Events     int
+	Arrivals   int
+	Chunks     int
+	Deliveries int
+	Bursted    int
+}
+
+// OK reports whether the stream had no structural issues.
+func (a *Audit) OK() bool { return len(a.Issues) == 0 }
+
+// Summary renders a one-screen audit result.
+func (a *Audit) Summary() string {
+	s := fmt.Sprintf(
+		"audit over %d events: %d jobs (%d arrivals, %d chunks)\n"+
+			"  recomputed  makespan %.0fs  speedup %.2f  burst %.2f  IC util %.1f%%  EC util %.1f%%\n"+
+			"  slack       %d/%d bursts verified, %d mispredicted, %d admission violations\n",
+		a.Events, a.Deliveries, a.Arrivals, a.Chunks,
+		a.Makespan, a.Speedup, a.BurstRatio, 100*a.ICUtil, 100*a.ECUtil,
+		a.Checked, a.Bursted, len(a.Mispredictions), len(a.AdmissionViolations))
+	if len(a.Issues) == 0 {
+		return s + "  integrity  clean\n"
+	}
+	s += fmt.Sprintf("  integrity  %d issue(s):\n", len(a.Issues))
+	for _, is := range a.Issues {
+		s += "    - " + is + "\n"
+	}
+	return s
+}
+
+func (a *Audit) issuef(format string, args ...any) {
+	a.Issues = append(a.Issues, fmt.Sprintf(format, args...))
+}
+
+// errEmptyStream is returned for a stream with no events at all.
+var errEmptyStream = errors.New("trace: cannot audit an empty event stream")
+
+// AuditEvents replays the stream and returns the independent audit. The
+// stream may be in raw emission order.
+func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
+	if len(events) == 0 {
+		return nil, errEmptyStream
+	}
+	opt = opt.withDefaults()
+	a := &Audit{Events: len(events)}
+
+	// --- Pass 1: index the stream. -------------------------------------
+	var cfg *Event
+	var tseq float64
+	deliveries := make(map[int]Event) // by Seq
+	var deliveredOrder []Event
+	admissions := make(map[int]Event) // job ID → latest EC admission event
+	movedToIC := make(map[int]bool)   // job ID → stolen back after admission
+	placements := 0
+	uploadEnd := make(map[int]float64)   // job ID → last UploadEnd time
+	downloadEnd := make(map[int]float64) // job ID → last DownloadEnd time
+
+	type machineKey struct {
+		cluster string
+		machine int
+	}
+	type interval struct{ start, end float64 }
+	openCompute := make(map[machineKey]Event)
+	intervals := make(map[machineKey][]interval)
+	machineOrder := []machineKey{} // first-seen order per cluster machine
+
+	// Elastic-EC rental reconstruction.
+	type rental struct{ added, retired float64 } // retired < 0: still active
+	ecRentals := make(map[int]*rental)           // machine ID → rental span
+
+	for _, ev := range events {
+		switch ev.Type {
+		case RunConfigured:
+			if cfg != nil {
+				a.issuef("duplicate RunConfigured at t=%.3f", ev.T)
+				continue
+			}
+			c := ev
+			cfg = &c
+			for m := 0; m < ev.ECMachines; m++ {
+				ecRentals[m] = &rental{added: ev.T, retired: -1}
+			}
+		case JobArrived:
+			a.Arrivals++
+			tseq += ev.StdSeconds
+		case Chunked:
+			a.Chunks++
+		case PlacementDecided:
+			placements++
+			if ev.Where == "EC" {
+				admissions[ev.JobID] = ev
+			}
+		case Rescheduled:
+			switch ev.To {
+			case "EC":
+				admissions[ev.JobID] = ev
+				delete(movedToIC, ev.JobID)
+			case "IC":
+				movedToIC[ev.JobID] = true
+			}
+		case UploadEnd:
+			uploadEnd[ev.JobID] = ev.T
+		case DownloadEnd:
+			downloadEnd[ev.JobID] = ev.T
+		case ComputeStart:
+			k := machineKey{ev.Cluster, ev.Machine}
+			if _, open := openCompute[k]; open {
+				a.issuef("ComputeStart on busy machine %s/%d at t=%.3f", ev.Cluster, ev.Machine, ev.T)
+			}
+			openCompute[k] = ev
+		case ComputeEnd:
+			k := machineKey{ev.Cluster, ev.Machine}
+			st, open := openCompute[k]
+			if !open {
+				a.issuef("ComputeEnd without start on %s/%d at t=%.3f", ev.Cluster, ev.Machine, ev.T)
+				continue
+			}
+			delete(openCompute, k)
+			if ev.T < st.T {
+				a.issuef("compute interval on %s/%d ends at %.3f before start %.3f", ev.Cluster, ev.Machine, ev.T, st.T)
+				continue
+			}
+			if _, seen := intervals[k]; !seen {
+				machineOrder = append(machineOrder, k)
+			}
+			intervals[k] = append(intervals[k], interval{st.T, ev.T})
+		case AutoscaleBoot:
+			ecRentals[ev.Machine] = &rental{added: ev.T, retired: -1}
+		case AutoscaleDrain:
+			if r, ok := ecRentals[ev.Machine]; ok {
+				r.retired = ev.T
+			} else {
+				a.issuef("AutoscaleDrain of unknown machine %d at t=%.3f", ev.Machine, ev.T)
+			}
+		case JobDelivered:
+			if prev, dup := deliveries[ev.Seq]; dup {
+				a.issuef("duplicate delivery for seq %d (jobs %d and %d)", ev.Seq, prev.JobID, ev.JobID)
+				continue
+			}
+			if ev.T < ev.Arrival {
+				a.issuef("seq %d (job %d) delivered at %.3f before arrival %.3f", ev.Seq, ev.JobID, ev.T, ev.Arrival)
+			}
+			deliveries[ev.Seq] = ev
+			deliveredOrder = append(deliveredOrder, ev)
+		}
+	}
+	for k := range openCompute {
+		a.issuef("compute interval on %s/%d never ended", k.cluster, k.machine)
+	}
+
+	a.Deliveries = len(deliveredOrder)
+	if a.Deliveries == 0 {
+		a.issuef("stream contains no deliveries")
+		return a, nil
+	}
+	if cfg == nil {
+		a.issuef("stream has no RunConfigured event; utilization not audited")
+	}
+	if placements > 0 && placements != a.Deliveries {
+		a.issuef("%d placements but %d deliveries", placements, a.Deliveries)
+	}
+	if a.Arrivals > 0 {
+		// Each chunked parent is replaced by its chunks, so deliveries must
+		// equal arrivals plus chunks minus the distinct parents split.
+		parents := make(map[int]bool)
+		for _, ev := range events {
+			if ev.Type == Chunked {
+				parents[ev.Parent] = true
+			}
+		}
+		if want := a.Arrivals + a.Chunks - len(parents); want != a.Deliveries {
+			a.issuef("job accounting: %d arrivals + %d chunks - %d split parents = %d, but %d delivered",
+				a.Arrivals, a.Chunks, len(parents), want, a.Deliveries)
+		}
+	}
+
+	// --- Makespan, speedup, burst ratio (eq. 7, 10, 12). ----------------
+	minArr := deliveredOrder[0].Arrival
+	end := deliveredOrder[0].T
+	for _, d := range deliveredOrder[1:] {
+		if d.Arrival < minArr {
+			minArr = d.Arrival
+		}
+		if d.T > end {
+			end = d.T
+		}
+	}
+	a.Makespan = end - minArr
+	a.Jobs = a.Deliveries
+	for _, d := range deliveredOrder {
+		if d.Where == "EC" {
+			a.Bursted++
+		}
+	}
+	a.BurstRatio = float64(a.Bursted) / float64(a.Deliveries)
+	if tseq > 0 && a.Makespan > 0 {
+		a.Speedup = tseq / a.Makespan
+	}
+
+	// --- Utilization (eq. 9). -------------------------------------------
+	// Busy time is recomputed from the compute intervals alone; denominators
+	// come from RunConfigured (fixed fleets) or the reconstructed rental
+	// spans (elastic EC).
+	if cfg != nil {
+		busy := func(cluster string) float64 {
+			var total float64
+			for _, k := range machineOrder {
+				if k.cluster != cluster {
+					continue
+				}
+				var b float64
+				for _, iv := range intervals[k] {
+					b += iv.end - iv.start
+				}
+				total += b
+			}
+			return total
+		}
+		if cfg.ICMachines > 0 && end > 0 {
+			a.ICUtil = busy("ic") / (end * float64(cfg.ICMachines))
+		}
+		ecBusy := busy("ec")
+		if cfg.Autoscale {
+			var rented float64
+			for _, r := range ecRentals {
+				stop := r.retired
+				if stop < 0 || stop > end {
+					stop = end
+				}
+				if stop > r.added {
+					rented += stop - r.added
+				}
+			}
+			if rented > 0 {
+				a.ECUtil = ecBusy / rented
+			}
+		} else if cfg.ECMachines > 0 && end > 0 {
+			a.ECUtil = ecBusy / (end * float64(cfg.ECMachines))
+		}
+	}
+
+	// --- OO series (eq. 3–6), independently recomputed. -----------------
+	a.OOSeries = ooSeries(deliveredOrder, minArr, end, opt.OOSampleInterval, opt.OOTolerance)
+
+	// --- Slack verification per delivered burst. -------------------------
+	for _, d := range deliveredOrder {
+		if d.Where != "EC" {
+			continue
+		}
+		adm, ok := admissions[d.JobID]
+		if !ok {
+			a.issuef("seq %d (job %d) delivered from EC but no placement admitted it", d.Seq, d.JobID)
+			continue
+		}
+		if movedToIC[d.JobID] {
+			a.issuef("job %d was stolen back to the IC but still delivered from EC", d.JobID)
+			continue
+		}
+		if d.Site == 0 {
+			// Primary-EC bursts must show complete transfer legs.
+			if _, up := uploadEnd[d.JobID]; !up {
+				a.issuef("bursted job %d has no completed upload", d.JobID)
+			}
+			if _, down := downloadEnd[d.JobID]; !down {
+				a.issuef("bursted job %d has no completed download", d.JobID)
+			}
+		}
+		if !adm.Gated {
+			continue // no verifiable threshold (e.g. forced placements)
+		}
+		c := SlackCheck{
+			JobID:     d.JobID,
+			Seq:       d.Seq,
+			EstEC:     adm.EstEC,
+			Threshold: adm.Threshold,
+			Realized:  d.T - adm.T,
+		}
+		a.Checked++
+		if c.EstEC > c.Threshold+opt.Epsilon {
+			a.AdmissionViolations = append(a.AdmissionViolations, c)
+		}
+		if c.Realized > c.Threshold+opt.Epsilon {
+			c.Violated = true
+			a.Mispredictions = append(a.Mispredictions, c)
+		}
+		a.Checks = append(a.Checks, c)
+	}
+
+	return a, nil
+}
+
+// ooSeries recomputes the OO metric o_t (ordered output bytes, eq. 6) on
+// the same sampling grid the report uses, from the deliveries alone.
+func ooSeries(deliveries []Event, start, end, interval float64, tol int) []AuditPoint {
+	if interval <= 0 || len(deliveries) == 0 {
+		return nil
+	}
+	recs := append([]Event(nil), deliveries...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	var out []AuditPoint
+	for t := start; t <= end+interval; t += interval {
+		out = append(out, AuditPoint{T: t, V: float64(ooAt(recs, t, tol))})
+	}
+	return out
+}
+
+// ooAt evaluates eq. (3)–(6) at time t over seq-sorted deliveries: the
+// cumulative output bytes of completed jobs at or below the largest
+// position m_t consumable in order within tolerance tol.
+func ooAt(recs []Event, t float64, tol int) int64 {
+	mt := -1
+	completed := 0
+	for _, r := range recs {
+		if r.T <= t {
+			completed++
+			if (r.Seq+1)-tol <= completed && r.Seq > mt {
+				mt = r.Seq
+			}
+		}
+	}
+	if mt < 0 {
+		return 0
+	}
+	var ot int64
+	for _, r := range recs {
+		if r.Seq <= mt && r.T <= t {
+			ot += r.OutputBytes
+		}
+	}
+	return ot
+}

@@ -1,0 +1,259 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event exporter: renders the event stream as the JSON object
+// format understood by chrome://tracing and Perfetto (ui.perfetto.dev).
+// Each cluster becomes a process with one thread row per machine (compute
+// spans), each link becomes a process whose rows are transfer lanes
+// (uploads/downloads stacked onto the fewest rows that avoid overlap),
+// outage episodes get their own process, and autoscale/delivery progress is
+// exported as counter tracks.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usec = 1e6 // virtual seconds → trace microseconds
+
+// chromeBuilder assigns stable pids/tids and accumulates output events.
+type chromeBuilder struct {
+	out     []chromeEvent
+	pids    map[string]int
+	threads map[string]bool // named (pid,tid) pairs
+}
+
+func (b *chromeBuilder) pid(name string) int {
+	if p, ok := b.pids[name]; ok {
+		return p
+	}
+	p := len(b.pids) + 1
+	b.pids[name] = p
+	b.out = append(b.out, chromeEvent{
+		Name: "process_name", Ph: "M", PID: p,
+		Args: map[string]any{"name": name},
+	})
+	return p
+}
+
+func (b *chromeBuilder) thread(pid, tid int, name string) {
+	key := fmt.Sprintf("%d/%d", pid, tid)
+	if b.threads[key] {
+		return
+	}
+	b.threads[key] = true
+	b.out = append(b.out, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+type span struct {
+	start, end float64
+	name       string
+	args       map[string]any
+}
+
+// assignLanes packs spans onto the fewest rows with no overlap per row.
+func assignLanes(spans []span) [][]span {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	var lanes [][]span
+	var laneEnd []float64
+	for _, s := range spans {
+		placed := false
+		for i := range lanes {
+			if laneEnd[i] <= s.start {
+				lanes[i] = append(lanes[i], s)
+				laneEnd[i] = s.end
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lanes = append(lanes, []span{s})
+			laneEnd = append(laneEnd, s.end)
+		}
+	}
+	return lanes
+}
+
+// WriteChromeTrace renders events as a Chrome trace-event file. The stream
+// may be in raw emission order; it is sorted internally.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	evs := append([]Event(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+
+	b := &chromeBuilder{pids: make(map[string]int), threads: make(map[string]bool)}
+
+	var maxT float64
+	for _, ev := range evs {
+		if ev.T > maxT {
+			maxT = ev.T
+		}
+	}
+
+	// Compute spans: one row per (cluster, machine).
+	type mkey struct {
+		cluster string
+		machine int
+	}
+	openCompute := make(map[mkey]Event)
+	// Transfer spans per link, packed into lanes afterwards.
+	linkSpans := make(map[string][]span)
+	type tkey struct {
+		job  int
+		link string
+	}
+	openXfer := make(map[tkey]Event)
+	// Outage episodes per link.
+	openOutage := make(map[string]Event)
+
+	fleet := -1
+	delivered := 0
+
+	for _, ev := range evs {
+		switch ev.Type {
+		case RunConfigured:
+			if ev.Autoscale {
+				fleet = ev.ECMachines
+			}
+		case ComputeStart:
+			openCompute[mkey{ev.Cluster, ev.Machine}] = ev
+		case ComputeEnd:
+			k := mkey{ev.Cluster, ev.Machine}
+			st, ok := openCompute[k]
+			if !ok {
+				continue
+			}
+			delete(openCompute, k)
+			pid := b.pid("cluster " + ev.Cluster)
+			b.thread(pid, ev.Machine, fmt.Sprintf("machine %d", ev.Machine))
+			b.out = append(b.out, chromeEvent{
+				Name: fmt.Sprintf("job %d", ev.JobID), Cat: "compute", Ph: "X",
+				TS: st.T * usec, Dur: (ev.T - st.T) * usec, PID: pid, TID: ev.Machine,
+				Args: map[string]any{"stdSeconds": st.StdSeconds},
+			})
+		case UploadStart, DownloadStart:
+			openXfer[tkey{ev.JobID, ev.Link}] = ev
+		case UploadEnd, DownloadEnd:
+			k := tkey{ev.JobID, ev.Link}
+			st, ok := openXfer[k]
+			if !ok {
+				continue
+			}
+			delete(openXfer, k)
+			linkSpans[ev.Link] = append(linkSpans[ev.Link], span{
+				start: st.T, end: ev.T,
+				name: fmt.Sprintf("job %d", ev.JobID),
+				args: map[string]any{"bytes": st.Bytes, "achievedBW": ev.BW},
+			})
+		case ProbeCompleted:
+			pid := b.pid("link " + ev.Link)
+			b.out = append(b.out, chromeEvent{
+				Name: "probe", Cat: "probe", Ph: "i", S: "t",
+				TS: ev.T * usec, PID: pid, TID: 0,
+				Args: map[string]any{"pathBW": ev.BW},
+			})
+		case OutageStart:
+			openOutage[ev.Link] = ev
+		case OutageEnd:
+			st, ok := openOutage[ev.Link]
+			if !ok {
+				continue
+			}
+			delete(openOutage, ev.Link)
+			pid := b.pid("outages")
+			tid := b.pid("link "+ev.Link) // stable per-link row id
+			b.thread(pid, tid, ev.Link)
+			b.out = append(b.out, chromeEvent{
+				Name: "outage", Cat: "outage", Ph: "X",
+				TS: st.T * usec, Dur: (ev.T - st.T) * usec, PID: pid, TID: tid,
+			})
+		case AutoscaleBoot, AutoscaleDrain:
+			fleet = ev.Fleet
+			pid := b.pid("autoscale")
+			b.out = append(b.out, chromeEvent{
+				Name: "EC fleet", Ph: "C", TS: ev.T * usec, PID: pid, TID: 0,
+				Args: map[string]any{"machines": fleet},
+			})
+		case JobDelivered:
+			delivered++
+			pid := b.pid("results")
+			b.out = append(b.out, chromeEvent{
+				Name: "delivered", Ph: "C", TS: ev.T * usec, PID: pid, TID: 0,
+				Args: map[string]any{"jobs": delivered},
+			})
+		case PlacementDecided:
+			pid := b.pid("scheduler")
+			b.out = append(b.out, chromeEvent{
+				Name: fmt.Sprintf("job %d → %s", ev.JobID, ev.Where),
+				Cat:  "decision", Ph: "i", S: "t",
+				TS: ev.T * usec, PID: pid, TID: 0,
+				Args: map[string]any{
+					"seq": ev.Seq, "estEC": ev.EstEC, "threshold": ev.Threshold,
+				},
+			})
+		}
+	}
+
+	// Close any still-open compute/outage intervals at the stream end.
+	for k, st := range openCompute {
+		pid := b.pid("cluster " + k.cluster)
+		b.thread(pid, k.machine, fmt.Sprintf("machine %d", k.machine))
+		b.out = append(b.out, chromeEvent{
+			Name: fmt.Sprintf("job %d", st.JobID), Cat: "compute", Ph: "X",
+			TS: st.T * usec, Dur: (maxT - st.T) * usec, PID: pid, TID: k.machine,
+		})
+	}
+	for link, st := range openOutage {
+		pid := b.pid("outages")
+		tid := b.pid("link " + link)
+		b.thread(pid, tid, link)
+		b.out = append(b.out, chromeEvent{
+			Name: "outage", Cat: "outage", Ph: "X",
+			TS: st.T * usec, Dur: (maxT - st.T) * usec, PID: pid, TID: tid,
+		})
+	}
+
+	// Pack transfer spans into per-link lanes.
+	links := make([]string, 0, len(linkSpans))
+	for link := range linkSpans {
+		links = append(links, link)
+	}
+	sort.Strings(links)
+	for _, link := range links {
+		pid := b.pid("link " + link)
+		for lane, spans := range assignLanes(linkSpans[link]) {
+			tid := lane + 1 // tid 0 is the probe/instant row
+			b.thread(pid, tid, fmt.Sprintf("transfer lane %d", lane))
+			for _, s := range spans {
+				b.out = append(b.out, chromeEvent{
+					Name: s.name, Cat: "transfer", Ph: "X",
+					TS: s.start * usec, Dur: (s.end - s.start) * usec,
+					PID: pid, TID: tid, Args: s.args,
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: b.out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,210 @@
+// Package trace is the structured event stream of a simulated run: every
+// scheduling decision, transfer, compute interval, probe, outage episode,
+// autoscale action and delivery is emitted as a typed Event through a
+// Tracer. The stream serves three consumers:
+//
+//   - sinks (an in-memory Recorder, a JSONL exporter, a Chrome trace-event
+//     exporter for chrome://tracing / Perfetto), and
+//   - an independent SLA auditor (audit.go) that replays the stream and
+//     recomputes the paper's metrics without trusting the engine's own
+//     accounting.
+//
+// Performance contract: a nil Tracer disables tracing entirely. Every emit
+// point in the engine is guarded by a single nil check, so with tracing off
+// the hot path pays no event construction, no interface call, and no
+// allocation. Events are flat value structs; emitting them allocates only
+// inside sinks that retain them.
+package trace
+
+// EventType identifies what happened.
+type EventType uint8
+
+// The event taxonomy. One run emits, in rough lifecycle order per job:
+// JobArrived → (Chunked…) → PlacementDecided → either ComputeStart/End on
+// the IC, or UploadStart/End → ComputeStart/End → DownloadStart/End on an
+// EC — then JobDelivered. RunConfigured opens the stream;
+// ProbeCompleted, OutageStart/End, AutoscaleBoot/Drain and Rescheduled
+// interleave as the run unfolds.
+const (
+	// RunConfigured opens the stream with the run's cluster shape so an
+	// auditor can recompute utilization denominators from the stream alone.
+	RunConfigured EventType = iota
+	// JobArrived marks one original workload job entering the system.
+	JobArrived
+	// Chunked marks one chunk created from an oversized parent job.
+	Chunked
+	// PlacementDecided records a scheduler decision with its rationale.
+	PlacementDecided
+	// UploadStart marks a bursted job entering the upload stage (queue wait
+	// included); UploadEnd marks its last byte landing at the EC.
+	UploadStart
+	UploadEnd
+	// ComputeStart/ComputeEnd bracket one task occupying one machine.
+	ComputeStart
+	ComputeEnd
+	// DownloadStart/DownloadEnd bracket the output's trip back from an EC.
+	DownloadStart
+	DownloadEnd
+	// ProbeCompleted records one bandwidth probe and what it measured.
+	ProbeCompleted
+	// OutageStart/OutageEnd bracket a link throttling/outage episode.
+	OutageStart
+	OutageEnd
+	// AutoscaleBoot marks an elastic EC machine coming online (rental
+	// start); AutoscaleDrain marks one retiring (rental end).
+	AutoscaleBoot
+	AutoscaleDrain
+	// Rescheduled records a Sec. IV-D move: an upload stolen back to the IC
+	// or an idle-pull burst of queued IC work.
+	Rescheduled
+	// JobDelivered marks a finished output landing in the result queue.
+	JobDelivered
+
+	numEventTypes // sentinel
+)
+
+var eventTypeNames = [numEventTypes]string{
+	RunConfigured:    "RunConfigured",
+	JobArrived:       "JobArrived",
+	Chunked:          "Chunked",
+	PlacementDecided: "PlacementDecided",
+	UploadStart:      "UploadStart",
+	UploadEnd:        "UploadEnd",
+	ComputeStart:     "ComputeStart",
+	ComputeEnd:       "ComputeEnd",
+	DownloadStart:    "DownloadStart",
+	DownloadEnd:      "DownloadEnd",
+	ProbeCompleted:   "ProbeCompleted",
+	OutageStart:      "OutageStart",
+	OutageEnd:        "OutageEnd",
+	AutoscaleBoot:    "AutoscaleBoot",
+	AutoscaleDrain:   "AutoscaleDrain",
+	Rescheduled:      "Rescheduled",
+	JobDelivered:     "JobDelivered",
+}
+
+// String names the event type.
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) {
+		return eventTypeNames[t]
+	}
+	return "Unknown"
+}
+
+// MarshalText renders the type as its name (used by the JSONL exporter).
+func (t EventType) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText parses an event-type name.
+func (t *EventType) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i, n := range eventTypeNames {
+		if n == s {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return &UnknownEventTypeError{Name: s}
+}
+
+// UnknownEventTypeError reports an unrecognized type name in a stream.
+type UnknownEventTypeError struct{ Name string }
+
+func (e *UnknownEventTypeError) Error() string {
+	return "trace: unknown event type " + e.Name
+}
+
+// Event is one flat record. Only the fields relevant to the Type are set;
+// the rest stay zero and are omitted from JSONL output. Sentinel -1 is used
+// where the zero value is meaningful (Seq, JobID, Parent, Machine).
+type Event struct {
+	Type EventType `json:"type"`
+	// T is the virtual time the event took effect. Outage episodes are
+	// detected lazily at the next link activity, so their events may appear
+	// slightly out of T order in the stream; consumers that need monotonic
+	// time should sort by T.
+	T float64 `json:"t"`
+
+	// Job identity (JobArrived, Chunked, PlacementDecided, transfers,
+	// Rescheduled, JobDelivered). Seq is the result-queue position, assigned
+	// at placement time; -1 before placement.
+	JobID  int `json:"job,omitempty"`
+	Seq    int `json:"seq,omitempty"`
+	Batch  int `json:"batch,omitempty"`
+	Parent int `json:"parent,omitempty"` // Chunked: the job that was split
+
+	// Placement and delivery.
+	Where string `json:"where,omitempty"` // "IC" or "EC"
+	Site  int    `json:"site,omitempty"`  // 0 = primary EC, 1+k = remote site k
+
+	// Decision rationale (PlacementDecided, Rescheduled to EC). EstEC is the
+	// estimated EC round-trip completion offset from T; Threshold is what it
+	// was admitted against (the slack for Op/SIBS, the estimated IC finish
+	// for Greedy). Gated is true when the decision came from an
+	// EstEC-vs-Threshold comparison the auditor can verify.
+	EstProc   float64 `json:"estProc,omitempty"`
+	EstEC     float64 `json:"estEC,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Gated     bool    `json:"gated,omitempty"`
+
+	// Payload sizes and ground truth carried for the auditor.
+	Bytes       int64   `json:"bytes,omitempty"`
+	OutputBytes int64   `json:"outputBytes,omitempty"`
+	Arrival     float64 `json:"arrival,omitempty"`
+	StdSeconds  float64 `json:"stdSeconds,omitempty"`
+
+	// Compute location (ComputeStart/End).
+	Cluster string `json:"cluster,omitempty"`
+	Machine int    `json:"machine,omitempty"`
+
+	// Network (transfers, probes, outages). BW is the achieved or measured
+	// bandwidth in bytes/sec.
+	Link string  `json:"link,omitempty"`
+	BW   float64 `json:"bw,omitempty"`
+
+	// Fleet size after an autoscale action.
+	Fleet int `json:"fleet,omitempty"`
+
+	// Rescheduled: the move direction ("EC"→"IC" for steal-back).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// Run shape (RunConfigured).
+	ICMachines int     `json:"icMachines,omitempty"`
+	ECMachines int     `json:"ecMachines,omitempty"`
+	ECSpeed    float64 `json:"ecSpeed,omitempty"`
+	Autoscale  bool    `json:"autoscale,omitempty"`
+	Scheduler  string  `json:"scheduler,omitempty"`
+}
+
+// Tracer receives the event stream. Implementations must not retain
+// pointers into engine state (events are plain values). Tracers are called
+// synchronously from the single-threaded simulation loop, so they need no
+// locking of their own.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// Multi fans one stream out to several sinks. Nil sinks are skipped.
+func Multi(sinks ...Tracer) Tracer {
+	var keep []Tracer
+	for _, s := range sinks {
+		if s != nil {
+			keep = append(keep, s)
+		}
+	}
+	switch len(keep) {
+	case 0:
+		return nil
+	case 1:
+		return keep[0]
+	}
+	return multiTracer(keep)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}

@@ -1,6 +1,7 @@
 package cloudburst
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -51,9 +52,10 @@ type Report struct {
 
 	opts Options
 	res  *engine.Result
+	rec  *TraceRecorder // non-nil when the run recorded its event stream
 }
 
-func newReport(o Options, res *engine.Result) *Report {
+func newReport(o Options, res *engine.Result, rec *TraceRecorder) *Report {
 	peaks, stall, maxPeak := res.Records.PeakStats()
 	return &Report{
 		Scheduler:        o.Scheduler,
@@ -77,7 +79,32 @@ func newReport(o Options, res *engine.Result) *Report {
 		SiteUtils:        res.SiteUtils,
 		opts:             o,
 		res:              res,
+		rec:              rec,
 	}
+}
+
+// TraceEvents returns the recorded event stream in emission order, or nil
+// when the run was not recorded (Options.Audit unset).
+func (r *Report) TraceEvents() []TraceEvent {
+	if r.rec == nil {
+		return nil
+	}
+	return r.rec.Events()
+}
+
+// Audit replays the recorded event stream and independently recomputes the
+// SLA metrics — makespan, speedup, burst ratio, utilization, OO series —
+// and verifies every burst's slack admission. It uses the report's OO
+// sampling settings, so a clean run's audit matches the Report within float
+// round-off. It errors unless the run was recorded (set Options.Audit).
+func (r *Report) Audit() (*Audit, error) {
+	if r.rec == nil {
+		return nil, errors.New("cloudburst: run was not recorded; set Options.Audit")
+	}
+	return AuditTraceEvents(r.rec.Events(), AuditOptions{
+		OOSampleInterval: r.opts.OOSampleInterval,
+		OOTolerance:      r.opts.OOToleranceJobs,
+	})
 }
 
 // String renders a one-screen summary.
