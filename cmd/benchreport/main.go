@@ -1,0 +1,207 @@
+// Command benchreport converts `go test -bench` output into a
+// machine-readable BENCH.json and compares two such reports under
+// regression tolerances.
+//
+// Record mode (default) reads benchmark output from stdin or -in and
+// writes the JSON report to stdout or -o:
+//
+//	go test -run xxx -bench . -benchtime 1x -benchmem . | benchreport -o BENCH.json
+//
+// Compare mode gates a candidate report against a committed baseline:
+//
+//	benchreport -compare BENCH.json BENCH.ci.json -ns-tol 2.0 -allocs-tol 0.15
+//
+// It exits nonzero when any benchmark present in both reports regresses
+// beyond tolerance. Allocations per op are effectively machine-independent,
+// so their tolerance is tight; wall time varies with hardware and load, so
+// its tolerance is loose — tune both to the stability of the environment.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Benchmark is one measured benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH.json document.
+type Report struct {
+	Go         string      `json:"go,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one result row of `go test -bench` output, e.g.
+//
+//	BenchmarkTable1Metrics-8    1    100248665 ns/op    35047600 B/op    30215 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so reports from differently sized
+// machines stay comparable.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	goLine := regexp.MustCompile(`^(?:goos|pkg): `)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case len(line) > 5 && line[:5] == "cpu: ":
+			rep.CPU = line[5:]
+		case goLine.MatchString(line):
+			// informational; ignored
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			b := Benchmark{Name: m[1]}
+			b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			}
+			if m[5] != "" {
+				b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare reports regressions of cand against base, returning the failure
+// lines. A metric regresses when cand > base*(1+tol); missing or zero
+// baseline metrics are skipped.
+func compare(base, cand *Report, nsTol, allocsTol float64, out io.Writer) []string {
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var failures []string
+	for _, c := range cand.Benchmarks {
+		b, ok := byName[c.Name]
+		if !ok {
+			fmt.Fprintf(out, "new       %-40s %12.0f ns/op %10.0f allocs/op\n", c.Name, c.NsPerOp, c.AllocsPerOp)
+			continue
+		}
+		check := func(metric string, baseV, candV, tol float64) {
+			if baseV <= 0 {
+				return
+			}
+			ratio := candV / baseV
+			status := "ok"
+			if candV > baseV*(1+tol) {
+				status = "REGRESSED"
+				failures = append(failures, fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%, tol %+.0f%%)",
+					c.Name, metric, baseV, candV, (ratio-1)*100, tol*100))
+			}
+			fmt.Fprintf(out, "%-9s %-40s %-9s %12.4g -> %12.4g (%+.1f%%)\n",
+				status, c.Name, metric, baseV, candV, (ratio-1)*100)
+		}
+		check("ns/op", b.NsPerOp, c.NsPerOp, nsTol)
+		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp, allocsTol)
+	}
+	return failures
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	comp := flag.Bool("compare", false, "compare two BENCH.json reports: baseline candidate")
+	nsTol := flag.Float64("ns-tol", 2.0, "allowed fractional ns/op regression in compare mode")
+	allocsTol := flag.Float64("allocs-tol", 0.15, "allowed fractional allocs/op regression in compare mode")
+	flag.Parse()
+
+	if *comp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchreport -compare baseline.json candidate.json")
+			os.Exit(2)
+		}
+		base, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cand, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		failures := compare(base, cand, *nsTol, *allocsTol, os.Stdout)
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "\n%d benchmark regression(s):\n", len(failures))
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "  "+f)
+			}
+			os.Exit(1)
+		}
+		return
+	}
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

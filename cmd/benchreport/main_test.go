@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cloudburst
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1Metrics 	       1	 100248665 ns/op	35047600 B/op	   30215 allocs/op
+BenchmarkSimEngine-8   	       3	    123456 ns/op
+BenchmarkQRSMPredict   	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	cloudburst	0.104s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	if rep.CPU == "" {
+		t.Error("cpu line not captured")
+	}
+	// Sorted by name; GOMAXPROCS suffix stripped.
+	names := []string{"BenchmarkQRSMPredict", "BenchmarkSimEngine", "BenchmarkTable1Metrics"}
+	for i, want := range names {
+		if rep.Benchmarks[i].Name != want {
+			t.Errorf("benchmark[%d] = %q, want %q", i, rep.Benchmarks[i].Name, want)
+		}
+	}
+	tm := rep.Benchmarks[2]
+	if tm.NsPerOp != 100248665 || tm.BytesPerOp != 35047600 || tm.AllocsPerOp != 30215 {
+		t.Errorf("Table1Metrics metrics = %+v", tm)
+	}
+	if rep.Benchmarks[1].AllocsPerOp != 0 {
+		t.Errorf("SimEngine allocs = %v, want 0 (absent)", rep.Benchmarks[1].AllocsPerOp)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("expected error for output without benchmarks")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 50},
+		{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 10},
+	}}
+
+	t.Run("within tolerance", func(t *testing.T) {
+		cand := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 140, AllocsPerOp: 52},
+			{Name: "BenchmarkB", NsPerOp: 150, AllocsPerOp: 10},
+		}}
+		var sb strings.Builder
+		if f := compare(base, cand, 0.5, 0.1, &sb); len(f) != 0 {
+			t.Fatalf("unexpected failures: %v", f)
+		}
+	})
+
+	t.Run("ns regression", func(t *testing.T) {
+		cand := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 200, AllocsPerOp: 50},
+		}}
+		var sb strings.Builder
+		f := compare(base, cand, 0.5, 0.1, &sb)
+		if len(f) != 1 || !strings.Contains(f[0], "ns/op") {
+			t.Fatalf("failures = %v, want one ns/op regression", f)
+		}
+	})
+
+	t.Run("allocs regression", func(t *testing.T) {
+		cand := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 14},
+		}}
+		var sb strings.Builder
+		f := compare(base, cand, 0.5, 0.1, &sb)
+		if len(f) != 1 || !strings.Contains(f[0], "allocs/op") {
+			t.Fatalf("failures = %v, want one allocs/op regression", f)
+		}
+	})
+
+	t.Run("new benchmark ignored", func(t *testing.T) {
+		cand := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 1e6},
+		}}
+		var sb strings.Builder
+		if f := compare(base, cand, 0.5, 0.1, &sb); len(f) != 0 {
+			t.Fatalf("new benchmark should not fail the gate: %v", f)
+		}
+		if !strings.Contains(sb.String(), "new") {
+			t.Error("new benchmark not reported")
+		}
+	})
+}

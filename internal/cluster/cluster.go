@@ -54,7 +54,6 @@ type Task struct {
 	StartedAt  float64
 
 	machine *Machine
-	doneEv  *sim.Event
 	done    bool
 }
 
@@ -95,6 +94,7 @@ type Cluster struct {
 	createdAt    float64
 	completed    int
 	peakMachines int
+	doneCb       sim.Callback // prebound task-completion callback
 	// OnIdle fires whenever the cluster transitions to fully idle (no
 	// running or queued tasks); the rescheduling strategies hook it.
 	OnIdle func(c *Cluster)
@@ -111,6 +111,7 @@ func New(eng *sim.Engine, name string, speeds []float64) *Cluster {
 		panic(fmt.Sprintf("cluster %q needs at least one machine", name))
 	}
 	c := &Cluster{Name: name, eng: eng, createdAt: eng.Now()}
+	c.doneCb = c.taskDone
 	for i, s := range speeds {
 		if s <= 0 {
 			panic(fmt.Sprintf("cluster %q machine %d speed %v must be positive", name, i, s))
@@ -184,25 +185,31 @@ func (c *Cluster) start(m *Machine, t *Task) {
 		t.OnStart(now, t, m)
 	}
 	dur := t.StdSeconds / m.Speed
-	t.doneEv = c.eng.ScheduleAfter(dur, func() {
-		t.done = true
-		m.running = nil
-		m.busyTime += c.eng.Now() - m.runningFrom
-		c.completed++
-		if m.draining {
-			c.retire(m)
-		}
-		if c.OnTaskEnd != nil {
-			c.OnTaskEnd(c.eng.Now(), t, m)
-		}
-		if t.OnDone != nil {
-			t.OnDone(c.eng.Now(), t, m)
-		}
-		c.dispatch()
-		if c.OnIdle != nil && c.Idle() {
-			c.OnIdle(c)
-		}
-	})
+	c.eng.CallAfter(dur, c.doneCb, t)
+}
+
+// taskDone is the pooled completion callback for every task on the cluster;
+// the task records its machine, so no per-task closure is needed.
+func (c *Cluster) taskDone(now float64, arg any) {
+	t := arg.(*Task)
+	m := t.machine
+	t.done = true
+	m.running = nil
+	m.busyTime += now - m.runningFrom
+	c.completed++
+	if m.draining {
+		c.retire(m)
+	}
+	if c.OnTaskEnd != nil {
+		c.OnTaskEnd(now, t, m)
+	}
+	if t.OnDone != nil {
+		t.OnDone(now, t, m)
+	}
+	c.dispatch()
+	if c.OnIdle != nil && c.Idle() {
+		c.OnIdle(c)
+	}
 }
 
 // Idle reports whether no task is running or queued.

@@ -53,6 +53,7 @@ func (a AutoscaleConfig) validate() error {
 type autoscaler struct {
 	e            *Engine
 	cfg          AutoscaleConfig
+	bootCb       sim.Callback // prebound boot-completion callback
 	pendingBoots int
 	bootCount    int
 	drainCount   int
@@ -65,8 +66,22 @@ func startAutoscaler(e *Engine, cfg AutoscaleConfig) (*autoscaler, error) {
 		return nil, err
 	}
 	a := &autoscaler{e: e, cfg: cfg}
+	a.bootCb = a.bootDone
 	sim.NewTicker(e.eng, cfg.Period, func(now float64) { a.tick() })
 	return a, nil
+}
+
+// bootDone brings a machine online after its boot delay.
+func (a *autoscaler) bootDone(now float64, _ any) {
+	e := a.e
+	a.pendingBoots--
+	m := e.ec.AddMachine(e.cfg.ECSpeed)
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{
+			Type: trace.AutoscaleBoot, T: now,
+			Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),
+		})
+	}
 }
 
 // tick evaluates demand and scales. Demand is the expected queueing wait
@@ -88,16 +103,7 @@ func (a *autoscaler) tick() {
 	case wait > a.cfg.TargetWait && e.ec.Size()+a.pendingBoots < a.cfg.Max:
 		a.pendingBoots++
 		a.bootCount++
-		e.eng.ScheduleAfter(a.cfg.BootDelay, func() {
-			a.pendingBoots--
-			m := e.ec.AddMachine(e.cfg.ECSpeed)
-			if e.tracer != nil {
-				e.tracer.Emit(trace.Event{
-					Type: trace.AutoscaleBoot, T: e.eng.Now(),
-					Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),
-				})
-			}
-		})
+		e.eng.CallAfter(a.cfg.BootDelay, a.bootCb, nil)
 	case wait < a.cfg.TargetWait/2 && a.pendingBoots == 0:
 		if m := e.ec.DrainIdleMachine(a.cfg.Min); m != nil {
 			a.drainCount++

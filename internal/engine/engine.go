@@ -12,6 +12,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 
 	"cloudburst/internal/cluster"
 	"cloudburst/internal/job"
@@ -319,9 +320,18 @@ type Engine struct {
 	scaler *autoscaler
 	sites  []*ecSite
 
-	alloc     *job.Counter
-	seqNext   int
-	states    map[*job.Job]*jobState
+	alloc   *job.Counter
+	seqNext int
+	// states is dense, indexed by job ID: workload IDs are contiguous from
+	// zero and chunk IDs continue past them via job.NewCounter, so a slice
+	// replaces the pointer-keyed map the engine used to carry. Iteration
+	// order is ascending ID — deterministic, unlike map range order.
+	states []*jobState
+	// estCache memoizes QRSM estimates per job ID for the current estimator
+	// version, so backlog scans and scheduler consultations stop paying the
+	// quadratic-model evaluation for every look at the same job.
+	estCache  []estEntry
+	onBatchCb sim.Callback
 	records   *sla.Set
 	completed int
 	total     int
@@ -329,4 +339,58 @@ type Engine struct {
 
 	uploadedBytes   int64
 	downloadedBytes int64
+}
+
+// estEntry is one memoized QRSM estimate. ver holds estimator version + 1
+// at fill time so the zero value never matches a live version.
+type estEntry struct {
+	ver uint64
+	val float64
+}
+
+// estimateJob returns the QRSM estimate for j, memoized per (job, estimator
+// version). Estimates depend only on the job's features and the fitted
+// model state, so the cache is exact: it returns bit-identical values to
+// calling the estimator directly.
+func (e *Engine) estimateJob(j *job.Job) float64 {
+	id := j.ID
+	ver := e.estimator.Version() + 1
+	if id >= 0 && id < len(e.estCache) {
+		if ent := &e.estCache[id]; ent.ver == ver {
+			return ent.val
+		}
+	}
+	v := e.estimator.Estimate(j.Features)
+	if id >= 0 {
+		if id >= len(e.estCache) {
+			grown := make([]estEntry, id+1+64)
+			copy(grown, e.estCache)
+			e.estCache = grown
+		}
+		e.estCache[id] = estEntry{ver: ver, val: v}
+	}
+	return v
+}
+
+// stateFor returns the pipeline slot for job ID, or nil when the engine is
+// not tracking it.
+func (e *Engine) stateFor(id int) *jobState {
+	if id < 0 || id >= len(e.states) {
+		return nil
+	}
+	return e.states[id]
+}
+
+// setState registers a queue slot under its job ID, growing the dense table
+// as chunking allocates IDs past the initial workload.
+func (e *Engine) setState(id int, js *jobState) {
+	if id < 0 {
+		panic(fmt.Sprintf("engine: job ID %d negative", id))
+	}
+	if id >= len(e.states) {
+		grown := make([]*jobState, id+1+64)
+		copy(grown, e.states)
+		e.states = grown
+	}
+	e.states[id] = js
 }

@@ -1,0 +1,233 @@
+package engine_test
+
+// Golden determinism tests: the optimized engine must reproduce the exact
+// behaviour of the pre-optimization (seed) implementation. The committed
+// testdata/golden.json was generated against the seed engine; any hot-path
+// change (event pooling, dense job state, estimate caching, incremental
+// slack horizons) must keep every scheduler's metrics within 1e-12 relative
+// error and leave the discrete trace event sequence bit-identical.
+//
+// Regenerate (only when an intentional semantic change is reviewed and
+// accepted) with:
+//
+//	go test ./internal/engine -run TestGoldenDeterminism -update-golden
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudburst/internal/engine"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/sched"
+	"cloudburst/internal/trace"
+	"cloudburst/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current engine")
+
+// goldenRun is the recorded fingerprint of one (config, scheduler) run.
+type goldenRun struct {
+	Name      string `json:"name"`
+	Scheduler string `json:"scheduler"`
+
+	Makespan   float64 `json:"makespan"`
+	Speedup    float64 `json:"speedup"`
+	BurstRatio float64 `json:"burstRatio"`
+	ICUtil     float64 `json:"icUtil"`
+	ECUtil     float64 `json:"ecUtil"`
+
+	Jobs            int   `json:"jobs"`
+	ChunksCreated   int   `json:"chunksCreated"`
+	UploadedBytes   int64 `json:"uploadedBytes"`
+	DownloadedBytes int64 `json:"downloadedBytes"`
+
+	// CompletionSum is the sum of all per-record completion timestamps: a
+	// single scalar that moves if any job's delivery time moves.
+	CompletionSum float64 `json:"completionSum"`
+
+	// TraceEvents counts emitted events; TraceHash fingerprints the discrete
+	// event sequence (types, jobs, seqs, placements, links) excluding float
+	// timestamps, which the metric tolerances cover.
+	TraceEvents int    `json:"traceEvents"`
+	TraceHash   string `json:"traceHash"`
+}
+
+// goldenCase defines one run configuration to pin.
+type goldenCase struct {
+	name  string
+	cfg   engine.Config
+	sched func() sched.Scheduler
+}
+
+func goldenCases() []goldenCase {
+	base := engine.Config{NetSeed: 43}
+	resched := engine.Config{NetSeed: 43, Rescheduling: true}
+	multi := engine.Config{
+		NetSeed:      43,
+		Rescheduling: true,
+		RemoteSites:  []engine.RemoteSiteConfig{{Machines: 2}},
+	}
+	scaled := engine.Config{
+		NetSeed:    43,
+		ECMachines: 1,
+		Autoscale:  &engine.AutoscaleConfig{Max: 6},
+	}
+	outage := engine.Config{
+		NetSeed: 43,
+		Outages: &netsim.OutageModel{MeanTimeBetween: 3000, MeanDuration: 300, ThrottleFactor: 0.2},
+	}
+	return []goldenCase{
+		{"greedy", base, func() sched.Scheduler { return sched.Greedy{} }},
+		{"op", base, func() sched.Scheduler { return sched.OrderPreserving{} }},
+		{"sibs", base, func() sched.Scheduler { return &sched.SIBS{} }},
+		{"op-resched", resched, func() sched.Scheduler { return sched.OrderPreserving{} }},
+		{"sibs-resched", resched, func() sched.Scheduler { return &sched.SIBS{} }},
+		{"op-multisite", multi, func() sched.Scheduler { return sched.OrderPreserving{} }},
+		{"op-autoscale", scaled, func() sched.Scheduler { return sched.OrderPreserving{} }},
+		{"greedy-outage", outage, func() sched.Scheduler { return sched.Greedy{} }},
+	}
+}
+
+// runGolden executes one case and fingerprints it.
+func runGolden(t *testing.T, gc goldenCase) goldenRun {
+	t.Helper()
+	rec := trace.NewRecorder()
+	cfg := gc.cfg
+	cfg.Tracer = rec
+	g, err := workload.NewGenerator(workload.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gc.sched()
+	res, err := engine.Run(cfg, s, g.Generate())
+	if err != nil {
+		t.Fatalf("%s: %v", gc.name, err)
+	}
+
+	var compSum float64
+	for _, r := range res.Records.Records() {
+		compSum += r.CompletedAt
+	}
+
+	h := fnv.New64a()
+	for _, ev := range rec.Events() {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%s|%d|%s|%s|%s|%d|%d\n",
+			ev.Type, ev.JobID, ev.Seq, ev.Batch, ev.Where, ev.Site,
+			ev.Link, ev.From, ev.To, ev.Bytes, ev.OutputBytes)
+	}
+
+	return goldenRun{
+		Name:            gc.name,
+		Scheduler:       s.Name(),
+		Makespan:        res.Makespan,
+		Speedup:         res.Speedup,
+		BurstRatio:      res.BurstRatio,
+		ICUtil:          res.ICUtil,
+		ECUtil:          res.ECUtil,
+		Jobs:            res.Jobs,
+		ChunksCreated:   res.ChunksCreated,
+		UploadedBytes:   res.UploadedBytes,
+		DownloadedBytes: res.DownloadedBytes,
+		CompletionSum:   compSum,
+		TraceEvents:     rec.Len(),
+		TraceHash:       fmt.Sprintf("%016x", h.Sum64()),
+	}
+}
+
+const goldenPath = "testdata/golden.json"
+
+// relTol is the acceptance bound: metrics must match the seed engine to
+// 1e-12 relative error (float-sum reassociation noise only).
+const relTol = 1e-12
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return d
+	}
+	return d / den
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	cases := goldenCases()
+	got := make([]goldenRun, 0, len(cases))
+	for _, gc := range cases {
+		first := runGolden(t, gc)
+		// In-process repeatability: the same case must reproduce itself
+		// exactly (catches map-iteration or pooling nondeterminism).
+		second := runGolden(t, gc)
+		if first != second {
+			t.Errorf("%s: run is not self-deterministic:\n  %+v\n  %+v", gc.name, first, second)
+		}
+		got = append(got, first)
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d cases, test produced %d", len(want), len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.Name || g.Scheduler != w.Scheduler {
+			t.Errorf("case %d: identity mismatch: got %s/%s want %s/%s",
+				i, g.Name, g.Scheduler, w.Name, w.Scheduler)
+			continue
+		}
+		checkF := func(field string, gv, wv float64) {
+			if d := relDiff(gv, wv); d > relTol {
+				t.Errorf("%s: %s = %.17g, golden %.17g (rel diff %.3g > %.0g)",
+					w.Name, field, gv, wv, d, relTol)
+			}
+		}
+		checkF("makespan", g.Makespan, w.Makespan)
+		checkF("speedup", g.Speedup, w.Speedup)
+		checkF("burstRatio", g.BurstRatio, w.BurstRatio)
+		checkF("icUtil", g.ICUtil, w.ICUtil)
+		checkF("ecUtil", g.ECUtil, w.ECUtil)
+		checkF("completionSum", g.CompletionSum, w.CompletionSum)
+		if g.Jobs != w.Jobs || g.ChunksCreated != w.ChunksCreated {
+			t.Errorf("%s: jobs/chunks = %d/%d, golden %d/%d",
+				w.Name, g.Jobs, g.ChunksCreated, w.Jobs, w.ChunksCreated)
+		}
+		if g.UploadedBytes != w.UploadedBytes || g.DownloadedBytes != w.DownloadedBytes {
+			t.Errorf("%s: transferred bytes = %d/%d, golden %d/%d",
+				w.Name, g.UploadedBytes, g.DownloadedBytes, w.UploadedBytes, w.DownloadedBytes)
+		}
+		if g.TraceEvents != w.TraceEvents || g.TraceHash != w.TraceHash {
+			t.Errorf("%s: trace sequence changed: %d events hash %s, golden %d events hash %s",
+				w.Name, g.TraceEvents, g.TraceHash, w.TraceEvents, w.TraceHash)
+		}
+	}
+}

@@ -50,11 +50,11 @@ func (e *Engine) idlePull() {
 	// Scan from the tail: the last job has the most slack.
 	for i := len(queued) - 1; i >= 0; i-- {
 		t := queued[i]
-		js, ok := e.states[t.Job]
-		if !ok || js.done {
+		js := e.stateFor(t.Job.ID)
+		if js == nil || js.done {
 			continue
 		}
-		est := st.EstimateProc(t.Job.Features)
+		est := e.estimateJob(t.Job)
 		// EC round trip under current predictions, no queueing (the upload
 		// path is idle by precondition).
 		tec := float64(t.Job.InputSize)/st.PredictUploadBW(st.Now) +

@@ -31,9 +31,9 @@ func runWithHook(cfg Config, s sched.Scheduler, batches []workload.Batch, hook f
 		sched:   s,
 		tracer:  cfg.Tracer,
 		eng:     sim.NewEngine(),
-		states:  make(map[*job.Job]*jobState),
 		records: sla.NewSet(),
 	}
+	e.onBatchCb = func(now float64, arg any) { e.onBatch(*arg.(*workload.Batch)) }
 	e.build()
 	if cfg.Autoscale != nil {
 		scaler, err := startAutoscaler(e, *cfg.Autoscale)
@@ -67,11 +67,18 @@ func runWithHook(cfg Config, s sched.Scheduler, batches []workload.Batch, hook f
 		}
 	}
 	e.alloc = job.NewCounter(maxID + 1)
+	e.states = make([]*jobState, maxID+1)
+	e.estCache = make([]estEntry, maxID+1)
 
-	for _, b := range batches {
-		b := b
-		e.eng.Schedule(b.At, func() { e.onBatch(b) })
+	// The whole arrival wave is known up front; bulk-heapify it instead of
+	// pushing batch events one by one.
+	ats := make([]float64, len(batches))
+	args := make([]any, len(batches))
+	for i := range batches {
+		ats[i] = batches[i].At
+		args[i] = &batches[i]
 	}
+	e.eng.ScheduleBulk(ats, e.onBatchCb, args)
 
 	// Drive until every queue slot completes. Perpetual tickers (probes,
 	// rescheduling) keep the event queue non-empty, so termination is by
@@ -204,11 +211,11 @@ func (e *Engine) state() *sched.State {
 	// will hit the downlink but are not queued there yet.
 	var ecPending, downPending float64
 	for _, js := range e.states {
-		if js.place != sched.PlaceEC || js.done || js.site != 0 {
+		if js == nil || js.place != sched.PlaceEC || js.done || js.site != 0 {
 			continue
 		}
 		if js.uploadItem != nil {
-			ecPending += e.estimator.Estimate(js.j.Features)
+			ecPending += e.estimateJob(js.j)
 		}
 		if !js.downloading {
 			downPending += float64(js.j.OutputSize)
@@ -237,6 +244,7 @@ func (e *Engine) state() *sched.State {
 		EstimateProc: func(f job.Features) float64 {
 			return e.estimator.Estimate(f)
 		},
+		EstimateJob: e.estimateJob,
 		RemoteSites: e.siteStates(),
 	}
 }
@@ -292,7 +300,7 @@ func (e *Engine) onBatch(b workload.Batch) {
 	for _, d := range decisions {
 		js := &jobState{j: d.Job, seq: e.seqNext, place: d.Place}
 		e.seqNext++
-		e.states[d.Job] = js
+		e.setState(d.Job.ID, js)
 		if e.tracer != nil {
 			if d.Job.IsChunk() {
 				e.tracer.Emit(trace.Event{

@@ -106,12 +106,12 @@ func (e *Engine) siteStates() []sched.SiteState {
 	pendStd := make([]float64, len(e.sites))
 	pendDown := make([]float64, len(e.sites))
 	for _, js := range e.states {
-		if js.place != sched.PlaceEC || js.done || js.site == 0 {
+		if js == nil || js.place != sched.PlaceEC || js.done || js.site == 0 {
 			continue
 		}
 		idx := js.site - 1
 		if js.uploadItem != nil {
-			pendStd[idx] += e.estimator.Estimate(js.j.Features)
+			pendStd[idx] += e.estimateJob(js.j)
 		}
 		if !js.downloading {
 			pendDown[idx] += float64(js.j.OutputSize)
@@ -131,21 +131,14 @@ func (e *Engine) siteStates() []sched.SiteState {
 			DownloadBacklog: s.downQ.Backlog(),
 			DownloadPending: pendDown[i],
 			PredictUploadBW: func(t float64) float64 {
-				return minF(s.upPred.Predict(t), limitUp)
+				return min(s.upPred.Predict(t), limitUp)
 			},
 			PredictDownloadBW: func(t float64) float64 {
-				return minF(s.downPred.Predict(t), limitDn)
+				return min(s.downPred.Predict(t), limitDn)
 			},
 		}
 	}
 	return out
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // submitUploadSite starts the EC path via remote site k (1-based decision

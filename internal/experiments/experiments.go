@@ -9,8 +9,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cloudburst/internal/engine"
 	"cloudburst/internal/sched"
@@ -77,13 +79,6 @@ func dashes(widths []int) []string {
 	return out
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Replication identifies one run: a workload seed and a network seed.
 type Replication struct {
 	WorkloadSeed int64
@@ -107,35 +102,34 @@ type RunSpec struct {
 	Scheduler func() sched.Scheduler
 }
 
-// RunReplicated executes the spec once per replication — concurrently, one
-// goroutine per replication, since every run owns its private simulation —
-// and returns the results in replication order.
+// RunReplicated executes the spec once per replication — concurrently,
+// since every run owns its private simulation — and returns the results in
+// replication order. Workers are bounded by GOMAXPROCS: a replication list
+// far wider than the machine would otherwise stack up full simulation
+// footprints simultaneously for no extra throughput. Each run is seeded
+// independently, so results do not depend on worker interleaving; on
+// failure the lowest-index error is returned regardless of which worker
+// hit an error first.
 func RunReplicated(spec RunSpec, reps []Replication) ([]*engine.Result, error) {
 	results := make([]*engine.Result, len(reps))
 	errs := make([]error, len(reps))
+	workers := min(runtime.GOMAXPROCS(0), len(reps))
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, rep := range reps {
-		i, rep := i, rep
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wcfg := spec.Workload
-			wcfg.Bucket = spec.Bucket
-			wcfg.Seed = rep.WorkloadSeed
-			gen, err := workload.NewGenerator(wcfg)
-			if err != nil {
-				errs[i] = err
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reps) {
+					return
+				}
+				results[i], errs[i] = runOne(spec, reps[i])
 			}
-			ecfg := spec.Engine
-			ecfg.NetSeed = rep.NetSeed
-			res, err := engine.Run(ecfg, spec.Scheduler(), gen.Generate())
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res.Bucket = spec.Bucket.String()
-			results[i] = res
 		}()
 	}
 	wg.Wait()
@@ -145,6 +139,25 @@ func RunReplicated(spec RunSpec, reps []Replication) ([]*engine.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// runOne executes a single replication.
+func runOne(spec RunSpec, rep Replication) (*engine.Result, error) {
+	wcfg := spec.Workload
+	wcfg.Bucket = spec.Bucket
+	wcfg.Seed = rep.WorkloadSeed
+	gen, err := workload.NewGenerator(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := spec.Engine
+	ecfg.NetSeed = rep.NetSeed
+	res, err := engine.Run(ecfg, spec.Scheduler(), gen.Generate())
+	if err != nil {
+		return nil, err
+	}
+	res.Bucket = spec.Bucket.String()
+	return res, nil
 }
 
 // meanOf applies f to each result and averages.

@@ -11,11 +11,15 @@ var ErrSingular = errors.New("linalg: matrix is singular or rank-deficient")
 
 // QR holds a Householder QR factorization A = Q*R of an m×n matrix with
 // m >= n. Q is stored implicitly as Householder vectors in the lower
-// trapezoid of qr; R occupies the upper triangle.
+// trapezoid; R occupies the upper triangle. The factors are kept
+// column-major: every Householder step walks one column top to bottom, so
+// this layout turns the hot loops into contiguous scans (the row-major
+// version strides by n on every access and dominated the fit profile).
 type QR struct {
-	qr   *Matrix
+	a    []float64 // m×n, column-major: column j is a[j*m : (j+1)*m]
 	rd   []float64 // diagonal of R
 	m, n int
+	band int // column k is structurally zero below row band+k (see below)
 }
 
 // NewQR factors a (m×n, m>=n). The input is not modified.
@@ -24,40 +28,65 @@ func NewQR(a *Matrix) *QR {
 		panic(fmt.Sprintf("linalg: QR needs rows >= cols, got %dx%d", a.Rows, a.Cols))
 	}
 	m, n := a.Rows, a.Cols
-	qr := a.Clone()
+	buf := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		cj := buf[j*m : (j+1)*m]
+		for i := 0; i < m; i++ {
+			cj[i] = a.Data[i*n+j]
+		}
+	}
+	return newQRColMajor(buf, m, n, m)
+}
+
+// newQRColMajor factors the column-major buffer in place. The arithmetic —
+// operand values and evaluation order — matches the original row-major
+// implementation exactly, so results are bit-identical; only the memory
+// walk changed.
+//
+// band declares known structure: column k is exactly zero below row
+// band+k-1 on entry (band = m declares a dense matrix). Ridge augmentation
+// produces such systems — the sqrt(lambda)·I tail — and the zero suffix is
+// invariant under the factorization: reflector k has the same support, so
+// it can neither read nor produce nonzeros past it. Truncating the loops
+// there only drops terms that multiply exact zeros.
+func newQRColMajor(buf []float64, m, n, band int) *QR {
 	rd := make([]float64, n)
 	for k := 0; k < n; k++ {
-		// Householder vector for column k.
-		col := make([]float64, m-k)
-		for i := k; i < m; i++ {
-			col[i-k] = qr.At(i, k)
+		ck := buf[k*m : (k+1)*m]
+		hi := band + k + 1 // one past the last structurally nonzero row
+		if hi > m {
+			hi = m
 		}
-		nrm := Norm2(col)
+		// Householder vector for column k. Norm2 skips zeros internally, so
+		// the truncated span yields the identical norm.
+		nrm := Norm2(ck[k:hi])
 		if nrm == 0 {
 			rd[k] = 0
 			continue
 		}
-		if qr.At(k, k) < 0 {
+		if ck[k] < 0 {
 			nrm = -nrm
 		}
-		for i := k; i < m; i++ {
-			qr.Set(i, k, qr.At(i, k)/nrm)
+		for i := k; i < hi; i++ {
+			ck[i] /= nrm
 		}
-		qr.Set(k, k, qr.At(k, k)+1)
+		ck[k]++
+		dk := ck[k]
 		// Apply the reflector to remaining columns.
 		for j := k + 1; j < n; j++ {
+			cj := buf[j*m : (j+1)*m]
 			var s float64
-			for i := k; i < m; i++ {
-				s += qr.At(i, k) * qr.At(i, j)
+			for i := k; i < hi; i++ {
+				s += ck[i] * cj[i]
 			}
-			s = -s / qr.At(k, k)
-			for i := k; i < m; i++ {
-				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			s = -s / dk
+			for i := k; i < hi; i++ {
+				cj[i] += s * ck[i]
 			}
 		}
 		rd[k] = -nrm
 	}
-	return &QR{qr: qr, rd: rd, m: m, n: n}
+	return &QR{a: buf, rd: rd, m: m, n: n, band: band}
 }
 
 // FullRank reports whether R has no (near-)zero diagonal entries relative to
@@ -92,18 +121,24 @@ func (q *QR) Solve(b []float64) ([]float64, error) {
 	}
 	y := make([]float64, q.m)
 	copy(y, b)
-	// Apply Qᵀ to b.
+	// Apply Qᵀ to b. Each reflector's support ends at the band limit, so
+	// the loops stop there (the skipped products are exactly zero).
 	for k := 0; k < q.n; k++ {
-		if q.qr.At(k, k) == 0 {
+		ck := q.a[k*q.m : (k+1)*q.m]
+		if ck[k] == 0 {
 			continue
 		}
-		var s float64
-		for i := k; i < q.m; i++ {
-			s += q.qr.At(i, k) * y[i]
+		hi := q.band + k + 1
+		if hi > q.m {
+			hi = q.m
 		}
-		s = -s / q.qr.At(k, k)
-		for i := k; i < q.m; i++ {
-			y[i] += s * q.qr.At(i, k)
+		var s float64
+		for i := k; i < hi; i++ {
+			s += ck[i] * y[i]
+		}
+		s = -s / ck[k]
+		for i := k; i < hi; i++ {
+			y[i] += s * ck[i]
 		}
 	}
 	// Back-substitute R*x = y[:n].
@@ -111,7 +146,7 @@ func (q *QR) Solve(b []float64) ([]float64, error) {
 	for k := q.n - 1; k >= 0; k-- {
 		s := y[k]
 		for j := k + 1; j < q.n; j++ {
-			s -= q.qr.At(k, j) * x[j]
+			s -= q.a[j*q.m+k] * x[j]
 		}
 		x[k] = s / q.rd[k]
 	}
@@ -127,7 +162,9 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 
 // RidgeLeastSquares solves min ||A*x − b||₂² + lambda*||x||₂² by augmenting A
 // with sqrt(lambda)*I. Any lambda > 0 makes the system full rank, which is
-// how the QRSM fit stays stable when document features are collinear.
+// how the QRSM fit stays stable when document features are collinear. The
+// augmented system is assembled straight into the factorization's
+// column-major buffer, skipping the intermediate row-major copy.
 func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
 	if lambda < 0 {
 		panic("linalg: negative ridge lambda")
@@ -136,15 +173,19 @@ func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error
 		return LeastSquares(a, b)
 	}
 	m, n := a.Rows, a.Cols
-	aug := NewMatrix(m+n, n)
-	copy(aug.Data[:m*n], a.Data)
+	rows := m + n
+	buf := make([]float64, rows*n)
 	s := math.Sqrt(lambda)
-	for i := 0; i < n; i++ {
-		aug.Set(m+i, i, s)
+	for j := 0; j < n; j++ {
+		cj := buf[j*rows : (j+1)*rows]
+		for i := 0; i < m; i++ {
+			cj[i] = a.Data[i*n+j]
+		}
+		cj[m+j] = s
 	}
-	rhs := make([]float64, m+n)
+	rhs := make([]float64, rows)
 	copy(rhs, b)
-	return NewQR(aug).Solve(rhs)
+	return newQRColMajor(buf, rows, n, m).Solve(rhs)
 }
 
 // SolveSquare solves the square system A*x = b via QR (stable for the small

@@ -96,7 +96,9 @@ type Link struct {
 	nextJitterAt   float64
 	outage         *outageState // nil when no outage model configured
 	active         []*Transfer
-	changeEv       *sim.Event
+	changeTm       sim.Timer
+	changeCb       sim.Callback // prebound state-change callback
+	sortScratch    []*Transfer  // reused by waterFill
 	lastAdvance    float64
 
 	// accounting
@@ -145,6 +147,11 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, rng *stats.RNG) *Link {
 		nextJitterAt:   eng.Now() + cfg.ResamplePeriod,
 		lastAdvance:    eng.Now(),
 		createdAt:      eng.Now(),
+	}
+	l.changeCb = func(now float64, _ any) {
+		l.changeTm = sim.Timer{}
+		l.advance()
+		l.reallocate()
 	}
 	if cfg.Outages != nil {
 		if err := cfg.Outages.Validate(); err != nil {
@@ -284,11 +291,12 @@ func (l *Link) completeFinished() {
 }
 
 // waterFill distributes current capacity max-min fairly, capping each
-// transfer at its thread limit and redistributing the slack.
+// transfer at its thread limit and redistributing the slack. The sort
+// scratch slice lives on the link so steady-state reallocation does not
+// allocate.
 func (l *Link) waterFill() {
 	capLeft := l.Capacity()
-	order := make([]*Transfer, len(l.active))
-	copy(order, l.active)
+	order := append(l.sortScratch[:0], l.active...)
 	sort.Slice(order, func(i, j int) bool {
 		return l.threads.Limit(order[i].Threads) < l.threads.Limit(order[j].Threads)
 	})
@@ -300,15 +308,19 @@ func (l *Link) waterFill() {
 		tr.rate = r
 		capLeft -= r
 	}
+	for i := range order {
+		order[i] = nil // do not retain completed transfers via the scratch
+	}
+	l.sortScratch = order[:0]
 }
 
 // scheduleChange arms the next internal event: the earliest transfer
 // completion or the next profile slot boundary, whichever comes first.
 func (l *Link) scheduleChange() {
-	if l.changeEv != nil {
-		l.eng.Cancel(l.changeEv)
-		l.changeEv = nil
+	if l.changeTm.Active() {
+		l.eng.CancelTimer(l.changeTm)
 	}
+	l.changeTm = sim.Timer{}
 	if len(l.active) == 0 {
 		return
 	}
@@ -334,11 +346,7 @@ func (l *Link) scheduleChange() {
 	if next <= now {
 		next = now + 1e-9
 	}
-	l.changeEv = l.eng.Schedule(next, func() {
-		l.changeEv = nil
-		l.advance()
-		l.reallocate()
-	})
+	l.changeTm = l.eng.ScheduleTimer(next, l.changeCb, nil)
 }
 
 // EstimateDuration predicts how long size bytes would take at bandwidth bw

@@ -19,7 +19,13 @@ type Estimator struct {
 	fallbackMB float64 // seconds per input megabyte before any fit
 	refitEvery int
 	sinceRefit int
+	version    uint64
 }
+
+// Version counts refits. Estimate is a pure function of (features, Version):
+// observations only influence predictions after the next Refit, so callers
+// may cache estimates keyed by job and version and stay bit-identical.
+func (e *Estimator) Version() uint64 { return e.version }
 
 // EstimatorOption configures an Estimator.
 type EstimatorOption func(*Estimator)
@@ -93,6 +99,7 @@ func (e *Estimator) Observe(f job.Features, seconds float64) {
 // samples) are expected early on and simply leave the previous fit active.
 func (e *Estimator) Refit() {
 	e.sinceRefit = 0
+	e.version++
 	_ = e.global.Fit()
 	for _, m := range e.perClass {
 		_ = m.Fit()

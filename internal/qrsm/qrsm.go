@@ -50,6 +50,19 @@ type Model struct {
 
 	r2   float64
 	rmse float64
+
+	// dirty is set by Observe and cleared by Fit: a fit over an unchanged
+	// window reproduces the previous result exactly, so Fit skips the
+	// factorization and replays its outcome. This makes the estimator's
+	// periodic "refit everything" cadence cheap for quiet per-class models.
+	dirty      bool
+	fitDone    bool // at least one Fit attempt over the current window
+	lastFitErr error
+
+	// Scratch reused across Fit/Predict calls; the model is single-threaded
+	// by design (Observe already mutates shared state), so this is safe.
+	zbuf []float64 // standardized features
+	bbuf []float64 // expanded basis row
 }
 
 // Option configures a Model.
@@ -108,44 +121,72 @@ func (m *Model) Observe(x []float64, y float64) {
 		m.xs = m.xs[drop:]
 		m.ys = m.ys[drop:]
 	}
+	m.dirty = true
 }
 
-// basis expands a standardized feature vector into the quadratic basis.
-func basis(z []float64) []float64 {
+// basisInto expands a standardized feature vector into the quadratic basis,
+// writing into out (length BasisSize(len(z))): intercept, linear terms,
+// pairwise interactions, squares.
+func basisInto(z, out []float64) {
 	dim := len(z)
-	out := make([]float64, 0, BasisSize(dim))
-	out = append(out, 1)
-	out = append(out, z...)
+	out[0] = 1
+	copy(out[1:1+dim], z)
+	k := 1 + dim
 	for i := 0; i < dim; i++ {
 		for j := i + 1; j < dim; j++ {
-			out = append(out, z[i]*z[j])
+			out[k] = z[i] * z[j]
+			k++
 		}
 	}
 	for i := 0; i < dim; i++ {
-		out = append(out, z[i]*z[i])
+		out[k] = z[i] * z[i]
+		k++
 	}
-	return out
 }
 
-func (m *Model) standardize(x []float64) []float64 {
-	z := make([]float64, m.dim)
+// standardizeInto centers and scales x into z (length m.dim).
+func (m *Model) standardizeInto(x, z []float64) {
 	for i := range z {
 		z[i] = (x[i] - m.mean[i]) / m.scale[i]
 	}
-	return z
+}
+
+// scratch returns the reusable standardize/basis buffers, allocating them on
+// first use.
+func (m *Model) scratch() ([]float64, []float64) {
+	if m.zbuf == nil {
+		m.zbuf = make([]float64, m.dim)
+		m.bbuf = make([]float64, BasisSize(m.dim))
+	}
+	return m.zbuf, m.bbuf
 }
 
 // Fit solves for the coefficients over all retained observations. It
 // requires at least BasisSize(dim) samples.
 func (m *Model) Fit() error {
+	if !m.dirty && m.fitDone {
+		// Unchanged training window: the factorization would reproduce the
+		// previous coefficients (and error) bit for bit. Replay the outcome.
+		return m.lastFitErr
+	}
+	err := m.fit()
+	m.dirty = false
+	m.fitDone = true
+	m.lastFitErr = err
+	return err
+}
+
+func (m *Model) fit() error {
 	p := BasisSize(m.dim)
 	n := len(m.ys)
 	if n < p {
 		return fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, n, p)
 	}
 	// Standardization parameters from the current training window.
-	m.mean = make([]float64, m.dim)
-	m.scale = make([]float64, m.dim)
+	if m.mean == nil {
+		m.mean = make([]float64, m.dim)
+		m.scale = make([]float64, m.dim)
+	}
 	for j := 0; j < m.dim; j++ {
 		var s float64
 		for _, x := range m.xs {
@@ -162,10 +203,11 @@ func (m *Model) Fit() error {
 			m.scale[j] = 1 // constant feature: center only
 		}
 	}
+	z, _ := m.scratch()
 	a := linalg.NewMatrix(n, p)
 	for i, x := range m.xs {
-		row := basis(m.standardize(x))
-		copy(a.Data[i*p:(i+1)*p], row)
+		m.standardizeInto(x, z)
+		basisInto(z, a.Data[i*p:(i+1)*p])
 	}
 	coef, err := linalg.RidgeLeastSquares(a, m.ys, m.lambda)
 	if err != nil {
@@ -199,7 +241,8 @@ func (m *Model) computeDiagnostics() {
 	}
 }
 
-// Predict evaluates the fitted surface at x.
+// Predict evaluates the fitted surface at x. Like Observe/Fit it is not
+// safe for concurrent use.
 func (m *Model) Predict(x []float64) (float64, error) {
 	if !m.fitted {
 		return 0, ErrNotFitted
@@ -207,7 +250,10 @@ func (m *Model) Predict(x []float64) (float64, error) {
 	if len(x) != m.dim {
 		panic(fmt.Sprintf("qrsm: predict dim %d, want %d", len(x), m.dim))
 	}
-	return linalg.Dot(basis(m.standardize(x)), m.coef), nil
+	z, b := m.scratch()
+	m.standardizeInto(x, z)
+	basisInto(z, b)
+	return linalg.Dot(b, m.coef), nil
 }
 
 // PredictClamped evaluates the surface and clamps the result to at least

@@ -23,7 +23,8 @@ func TestBasisSize(t *testing.T) {
 }
 
 func TestBasisExpansion(t *testing.T) {
-	b := basis([]float64{2, 3})
+	b := make([]float64, BasisSize(2))
+	basisInto([]float64{2, 3}, b)
 	want := []float64{1, 2, 3, 6, 4, 9} // 1, x1, x2, x1x2, x1², x2²
 	if len(b) != len(want) {
 		t.Fatalf("basis = %v", b)

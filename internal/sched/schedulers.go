@@ -51,7 +51,7 @@ func (Greedy) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Dec
 	for _, j := range batch {
 		est := st.estProc(j)
 		// ft^ic: wait for the aggregate IC backlog, then process.
-		tic := st.ICBacklogStd/(float64(max1(st.ICMachines))*st.ICSpeed) + est/st.ICSpeed
+		tic := st.ICBacklogStd/(float64(max(st.ICMachines, 1))*st.ICSpeed) + est/st.ICSpeed
 		site, tec := bestSite(pipes, j, est)
 		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: tic, Gated: true}
 		if tic <= tec {
@@ -63,13 +63,6 @@ func (Greedy) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Dec
 		out = append(out, d)
 	}
 	return out
-}
-
-func max1(n int) int {
-	if n < 1 {
-		return 1
-	}
-	return n
 }
 
 // GreedyTracking is Greedy with within-batch bookkeeping: each decision

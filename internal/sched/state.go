@@ -95,6 +95,11 @@ type State struct {
 	PredictUploadBW   func(t float64) float64
 	PredictDownloadBW func(t float64) float64
 	EstimateProc      func(f job.Features) float64 // std-machine seconds
+	// EstimateJob, when set, is a memoized variant of EstimateProc keyed by
+	// job identity. It must return exactly EstimateProc(j.Features); the
+	// engine supplies it so repeated scheduler consultations of the same job
+	// skip the quadratic-model evaluation.
+	EstimateJob func(j *job.Job) float64
 
 	// RemoteSites describes additional external clouds beyond the primary
 	// one (an empty slice reproduces the paper's single-EC setting). Each
@@ -119,7 +124,12 @@ type SiteState struct {
 
 // estProc returns the estimated standard-machine seconds for j.
 func (s *State) estProc(j *job.Job) float64 {
-	e := s.EstimateProc(j.Features)
+	var e float64
+	if s.EstimateJob != nil {
+		e = s.EstimateJob(j)
+	} else {
+		e = s.EstimateProc(j.Features)
+	}
 	if e <= 0 || math.IsNaN(e) {
 		e = 1
 	}
@@ -150,13 +160,49 @@ type Scheduler interface {
 	Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision
 }
 
+// fheap is a binary min-heap of free-time horizons. The scheduling loops
+// only ever need the earliest slot and only ever mutate that slot (book
+// work onto whichever machine or channel frees first), so the heap keeps
+// the horizon incrementally — one O(log n) sift per placement instead of a
+// rescan per candidate job.
+//
+// Slots are interchangeable: only their free times matter. Where the old
+// linear scans broke ties by index and the heap may pick a different slot
+// with the same time, the returned values and the multiset of horizons
+// evolve identically, so every estimate stays bit-identical.
+type fheap []float64
+
+// min returns the earliest horizon. The heap is never empty.
+func (h fheap) min() float64 { return h[0] }
+
+// replaceMin overwrites the earliest horizon with v — pop-then-push fused
+// into one sift-down.
+func (h fheap) replaceMin(v float64) {
+	h[0] = v
+	i, n := 0, len(h)
+	for {
+		small := i
+		if l := 2*i + 1; l < n && h[l] < h[small] {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
 // virtualPool tracks hypothetical machine availability while a scheduler
 // walks a batch: an estimate of when each machine frees up, expressed as
 // seconds from now. Every machine starts equally loaded with the observed
 // backlog spread across the pool — the scheduler cannot see actual
 // per-machine assignments, only the aggregate.
 type virtualPool struct {
-	free  []float64
+	free  fheap
 	speed float64
 }
 
@@ -165,9 +211,9 @@ func newVirtualPool(machines int, speed, backlogStd float64) *virtualPool {
 		machines = 1
 	}
 	per := backlogStd / (float64(machines) * speed)
-	v := &virtualPool{free: make([]float64, machines), speed: speed}
+	v := &virtualPool{free: make(fheap, machines), speed: speed}
 	for i := range v.free {
-		v.free[i] = per
+		v.free[i] = per // equal entries: trivially a valid heap
 	}
 	return v
 }
@@ -176,30 +222,18 @@ func newVirtualPool(machines int, speed, backlogStd float64) *virtualPool {
 // not before readyAt (e.g. after an upload lands), and returns the
 // estimated completion offset from now.
 func (v *virtualPool) add(stdSeconds, readyAt float64) float64 {
-	best := 0
-	for i := 1; i < len(v.free); i++ {
-		if v.free[i] < v.free[best] {
-			best = i
-		}
-	}
-	start := v.free[best]
+	start := v.free.min()
 	if readyAt > start {
 		start = readyAt
 	}
 	end := start + stdSeconds/v.speed
-	v.free[best] = end
+	v.free.replaceMin(end)
 	return end
 }
 
 // earliest returns the soonest any machine frees up.
 func (v *virtualPool) earliest() float64 {
-	e := v.free[0]
-	for _, f := range v.free[1:] {
-		if f < e {
-			e = f
-		}
-	}
-	return e
+	return v.free.min()
 }
 
 // ecPipeline tracks the hypothetical EC round-trip pipeline during a batch:
@@ -207,15 +241,13 @@ func (v *virtualPool) earliest() float64 {
 // capacity), the EC machine pool, and a serial download channel, all in
 // seconds-from-now.
 type ecPipeline struct {
-	now       float64
-	upBW      func(t float64) float64
-	downBW    func(t float64) float64
-	upFree    []float64 // per-channel free times
-	channels  float64
-	downFree  float64
-	pool      *virtualPool
-	extraUp   float64 // bytes this batch already committed to upload
-	placedStd float64 // std-seconds this batch already committed to EC
+	now      float64
+	upBW     func(t float64) float64
+	downBW   func(t float64) float64
+	upFree   fheap // per-channel free times
+	channels float64
+	downFree float64
+	pool     *virtualPool
 }
 
 func buildPipeline(now float64, upBW, downBW func(t float64) float64,
@@ -227,7 +259,7 @@ func buildPipeline(now float64, upBW, downBW func(t float64) float64,
 	// The existing backlog drains at the aggregate rate regardless of how
 	// it is split, so each channel starts equally loaded.
 	perChannelStart := upBacklog / agg
-	upFree := make([]float64, channels)
+	upFree := make(fheap, channels)
 	for i := range upFree {
 		upFree[i] = perChannelStart
 	}
@@ -296,20 +328,10 @@ func (p *ecPipeline) chRateAt(startOffset float64) float64 {
 	return p.upBW(p.now+startOffset) / p.channels
 }
 
-func (p *ecPipeline) earliestChannel() int {
-	best := 0
-	for i := 1; i < len(p.upFree); i++ {
-		if p.upFree[i] < p.upFree[best] {
-			best = i
-		}
-	}
-	return best
-}
-
 // estimate returns the completion offset for job j if bursted now, without
 // committing it.
 func (p *ecPipeline) estimate(j *job.Job, estStd float64) float64 {
-	start := p.upFree[p.earliestChannel()]
+	start := p.upFree.min()
 	upEnd := start + float64(j.InputSize)/p.chRateAt(start)
 	procEnd := p.peekProc(estStd, upEnd)
 	downStart := math.Max(procEnd, p.downFree)
@@ -319,25 +341,18 @@ func (p *ecPipeline) estimate(j *job.Job, estStd float64) float64 {
 
 func (p *ecPipeline) peekProc(estStd, readyAt float64) float64 {
 	// Non-committing version of pool.add.
-	best := p.pool.free[0]
-	for _, f := range p.pool.free[1:] {
-		if f < best {
-			best = f
-		}
-	}
-	start := math.Max(best, readyAt)
+	start := math.Max(p.pool.free.min(), readyAt)
 	return start + estStd/p.pool.speed
 }
 
 // commit books job j into the pipeline and returns its completion offset.
 func (p *ecPipeline) commit(j *job.Job, estStd float64) float64 {
-	ch := p.earliestChannel()
-	p.upFree[ch] += float64(j.InputSize) / p.chRateAt(p.upFree[ch])
-	procEnd := p.pool.add(estStd, p.upFree[ch])
+	start := p.upFree.min()
+	upEnd := start + float64(j.InputSize)/p.chRateAt(start)
+	p.upFree.replaceMin(upEnd)
+	procEnd := p.pool.add(estStd, upEnd)
 	downStart := math.Max(procEnd, p.downFree)
 	downDur := float64(j.OutputSize) / p.downBW(p.now+downStart)
 	p.downFree = downStart + downDur
-	p.extraUp += float64(j.InputSize)
-	p.placedStd += estStd
 	return p.downFree
 }

@@ -8,21 +8,52 @@
 // The engine is intentionally single-threaded; parallelism in experiments
 // comes from running independent replications (one engine per seed) on
 // separate goroutines, never from sharing one engine across goroutines.
+//
+// # Performance model
+//
+// Two scheduling APIs coexist:
+//
+//   - Schedule/ScheduleAfter take a plain closure and return a *Event
+//     handle. Those event nodes are heap-allocated and never recycled,
+//     because the caller may retain the handle indefinitely and Cancel it
+//     at any later point.
+//   - ScheduleCall/CallAfter/ScheduleTimer take a typed Callback plus an
+//     opaque argument. Their event nodes come from a free list and return
+//     to it the moment they fire or are cancelled, so steady-state
+//     scheduling allocates nothing. Cancellation goes through the Timer
+//     value handle, whose generation number makes stale cancels of a
+//     recycled node safe no-ops.
+//
+// The priority queue is a hand-rolled binary heap over (time, seq); it
+// avoids container/heap's interface calls and interface{} boxing on every
+// push/pop. ScheduleBulk loads a whole wave of events (e.g. all workload
+// arrivals) in one heapify instead of n pushes.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
+// Callback is the typed fast-path event function: it receives the firing
+// time and the argument registered at scheduling. Using a prebound Callback
+// plus an argument instead of a fresh closure keeps hot-path scheduling
+// allocation-free.
+type Callback func(now float64, arg any)
+
 // Event is a handle to a scheduled callback. It can be cancelled before it
 // fires; cancelling an already-fired or already-cancelled event is a no-op.
+// Events returned by Schedule/ScheduleAfter are never recycled; pooled
+// events (ScheduleCall/ScheduleTimer) are managed through Timer handles.
 type Event struct {
 	at       float64
 	seq      uint64
-	fn       func()
-	index    int // heap index; -1 when not in the heap
+	fn       func()   // legacy closure path
+	cb       Callback // typed fast path
+	arg      any
+	index    int32 // heap index; -1 when not in the heap
+	gen      uint32
+	pooled   bool
 	canceled bool
 }
 
@@ -32,38 +63,17 @@ func (ev *Event) Time() float64 { return ev.at }
 // Canceled reports whether Cancel was called on the event.
 func (ev *Event) Canceled() bool { return ev.canceled }
 
-// eventHeap orders events by (time, sequence number).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Timer is a cancellable handle to a pooled event. The zero Timer is inert.
+// The generation number detects recycled nodes, so keeping a Timer past its
+// firing and cancelling it later is always safe.
+type Timer struct {
+	ev  *Event
+	gen uint32
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// Active reports whether the timer still refers to a pending event.
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled && t.ev.index >= 0
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -71,7 +81,8 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     float64
 	seq     uint64
-	events  eventHeap
+	events  []*Event // binary heap on (at, seq)
+	free    []*Event // recycled pooled nodes
 	stopped bool
 	fired   uint64
 }
@@ -92,19 +103,25 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Schedule registers fn to run at absolute virtual time at. Scheduling in
-// the past (at < Now) panics: it always indicates a model bug, and silently
-// clamping would mask it.
-func (e *Engine) Schedule(at float64, fn func()) *Event {
+// checkTime panics for scheduling in the past or at non-finite times: both
+// always indicate a model bug, and silently clamping would mask it.
+func (e *Engine) checkTime(at float64) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %.9f before now %.9f", at, e.now))
 	}
 	if math.IsNaN(at) || math.IsInf(at, 0) {
 		panic(fmt.Sprintf("sim: schedule at non-finite time %v", at))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+}
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in
+// the past (at < Now) panics. The returned event is heap-allocated and
+// never pooled, so the handle stays valid indefinitely.
+func (e *Engine) Schedule(at float64, fn func()) *Event {
+	e.checkTime(at)
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -114,6 +131,71 @@ func (e *Engine) ScheduleAfter(d float64, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
+// ScheduleCall registers a typed callback at absolute time at. The event
+// node comes from the free list and is recycled when it fires, so this path
+// allocates nothing in steady state. The event cannot be cancelled; use
+// ScheduleTimer when cancellation is needed.
+func (e *Engine) ScheduleCall(at float64, cb Callback, arg any) {
+	e.checkTime(at)
+	ev := e.get()
+	ev.at, ev.seq, ev.cb, ev.arg = at, e.seq, cb, arg
+	e.seq++
+	e.push(ev)
+}
+
+// CallAfter registers a typed callback d seconds from now (pooled,
+// non-cancellable).
+func (e *Engine) CallAfter(d float64, cb Callback, arg any) {
+	e.ScheduleCall(e.now+d, cb, arg)
+}
+
+// ScheduleTimer registers a typed callback at absolute time at and returns
+// a Timer handle for cancellation. The node is pooled; the Timer's
+// generation makes a stale CancelTimer after firing a safe no-op.
+func (e *Engine) ScheduleTimer(at float64, cb Callback, arg any) Timer {
+	e.checkTime(at)
+	ev := e.get()
+	ev.at, ev.seq, ev.cb, ev.arg = at, e.seq, cb, arg
+	e.seq++
+	e.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// TimerAfter registers a typed callback d seconds from now and returns its
+// Timer.
+func (e *Engine) TimerAfter(d float64, cb Callback, arg any) Timer {
+	return e.ScheduleTimer(e.now+d, cb, arg)
+}
+
+// ScheduleBulk registers one typed callback per timestamp in one pass,
+// heapifying once instead of sifting per event — the cheap way to load an
+// entire arrival wave up front. args may be nil (every callback receives a
+// nil argument) or must have one entry per timestamp. Events fire in
+// timestamp order; equal timestamps fire in slice order.
+func (e *Engine) ScheduleBulk(ats []float64, cb Callback, args []any) {
+	if args != nil && len(args) != len(ats) {
+		panic(fmt.Sprintf("sim: bulk schedule with %d args for %d times", len(args), len(ats)))
+	}
+	for _, at := range ats {
+		e.checkTime(at)
+	}
+	for i, at := range ats {
+		ev := e.get()
+		ev.at, ev.seq, ev.cb = at, e.seq, cb
+		if args != nil {
+			ev.arg = args[i]
+		}
+		e.seq++
+		ev.index = int32(len(e.events))
+		e.events = append(e.events, ev)
+	}
+	// Bottom-up heapify restores the invariant in O(n) even when events
+	// were already pending.
+	for i := len(e.events)/2 - 1; i >= 0; i-- {
+		e.down(i)
+	}
+}
+
 // Cancel removes the event from the queue if it has not fired yet.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.canceled {
@@ -121,21 +203,50 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.canceled = true
 	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
+		e.remove(int(ev.index))
+		if ev.pooled {
+			e.put(ev)
+		}
 	}
+}
+
+// CancelTimer cancels the timer's event if it is still pending. Cancelling
+// a zero Timer, an already-fired timer, or one whose node was recycled is a
+// no-op.
+func (e *Engine) CancelTimer(t Timer) {
+	if !t.Active() {
+		return
+	}
+	ev := t.ev
+	ev.canceled = true
+	e.remove(int(ev.index))
+	e.put(ev)
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It returns false when no events remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+		ev := e.pop()
 		if ev.canceled {
+			if ev.pooled {
+				e.put(ev)
+			}
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		if ev.cb != nil {
+			// Recycle before invoking so the callback can reuse the node
+			// for whatever it schedules next.
+			cb, arg := ev.cb, ev.arg
+			e.put(ev)
+			cb(e.now, arg)
+		} else {
+			fn := ev.fn
+			ev.fn = nil
+			fn()
+		}
 		return true
 	}
 	return false
@@ -179,7 +290,10 @@ func (e *Engine) peek() *Event {
 		if !ev.canceled {
 			return ev
 		}
-		heap.Pop(&e.events)
+		e.pop()
+		if ev.pooled {
+			e.put(ev)
+		}
 	}
 	return nil
 }
@@ -192,4 +306,113 @@ func (e *Engine) NextEventTime() (float64, bool) {
 		return 0, false
 	}
 	return ev.at, true
+}
+
+// --- free list ---
+
+// get returns a cleared pooled node.
+func (e *Engine) get() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{pooled: true, index: -1}
+}
+
+// put recycles a pooled node, bumping its generation so stale Timer handles
+// cannot touch its next incarnation.
+func (e *Engine) put(ev *Event) {
+	ev.gen++
+	ev.fn, ev.cb, ev.arg = nil, nil, nil
+	ev.canceled = false
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// --- binary heap on (at, seq) ---
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.events[i], e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.events[i], e.events[j] = e.events[j], e.events[i]
+	e.events[i].index = int32(i)
+	e.events[j].index = int32(j)
+}
+
+func (e *Engine) push(ev *Event) {
+	ev.index = int32(len(e.events))
+	e.events = append(e.events, ev)
+	e.up(len(e.events) - 1)
+}
+
+func (e *Engine) pop() *Event {
+	ev := e.events[0]
+	n := len(e.events) - 1
+	e.swap(0, n)
+	e.events[n] = nil
+	e.events = e.events[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes the event at heap position i.
+func (e *Engine) remove(i int) {
+	n := len(e.events) - 1
+	ev := e.events[i]
+	if i != n {
+		e.swap(i, n)
+		e.events[n] = nil
+		e.events = e.events[:n]
+		if !e.down(i) {
+			e.up(i)
+		}
+	} else {
+		e.events[n] = nil
+		e.events = e.events[:n]
+	}
+	ev.index = -1
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts i toward the leaves; it reports whether i moved.
+func (e *Engine) down(i int) bool {
+	start := i
+	n := len(e.events)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			break
+		}
+		e.swap(i, least)
+		i = least
+	}
+	return i > start
 }

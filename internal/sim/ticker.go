@@ -4,11 +4,15 @@ package sim
 // It is the simulation analogue of time.Ticker and is used for metric
 // sampling (the paper samples the OO metric every 2 minutes) and for
 // periodic bandwidth probes.
+//
+// Each tick reuses a pooled engine event and a single prebound callback, so
+// a running ticker allocates nothing after construction.
 type Ticker struct {
 	eng    *Engine
 	period float64
 	fn     func(now float64)
-	ev     *Event
+	cb     Callback
+	tm     Timer
 	done   bool
 }
 
@@ -20,21 +24,23 @@ func NewTicker(eng *Engine, period float64, fn func(now float64)) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.cb = t.tick
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.eng.ScheduleAfter(t.period, func() {
-		if t.done {
-			return
-		}
-		now := t.eng.Now()
-		t.fn(now)
-		if !t.done {
-			t.arm()
-		}
-	})
+	t.tm = t.eng.TimerAfter(t.period, t.cb, nil)
+}
+
+func (t *Ticker) tick(now float64, _ any) {
+	if t.done {
+		return
+	}
+	t.fn(now)
+	if !t.done {
+		t.arm()
+	}
 }
 
 // Stop prevents any further ticks. It is safe to call from within the tick
@@ -44,5 +50,5 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.done = true
-	t.eng.Cancel(t.ev)
+	t.eng.CancelTimer(t.tm)
 }

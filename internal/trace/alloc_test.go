@@ -1,0 +1,42 @@
+package trace
+
+import "testing"
+
+// Emitting into a disabled trace pipeline must cost nothing: engines emit
+// one event per job transition, and a run with tracing off should not pay
+// for the subsystem at all. Event is passed by value, so the only way this
+// fails is an interface conversion or hidden copy sneaking into Emit.
+
+func TestMultiAllSinksNil(t *testing.T) {
+	if tr := Multi(nil, nil); tr != nil {
+		t.Fatalf("Multi(nil, nil) = %v, want nil (callers gate on != nil)", tr)
+	}
+}
+
+func TestEmitAllocs(t *testing.T) {
+	ev := Event{Type: JobDelivered, JobID: 7, Where: "EC"}
+
+	t.Run("recorder steady state", func(t *testing.T) {
+		r := NewRecorder()
+		for i := 0; i < 4096; i++ {
+			r.Emit(ev) // grow the backing array past the test's appends
+		}
+		allocs := testing.AllocsPerRun(100, func() { r.Emit(ev) })
+		if allocs > 1 {
+			t.Errorf("Recorder.Emit allocates %v/op beyond amortized growth", allocs)
+		}
+	})
+
+	t.Run("multi fan-out", func(t *testing.T) {
+		a, b := NewRecorder(), NewRecorder()
+		for i := 0; i < 4096; i++ {
+			a.Emit(ev)
+			b.Emit(ev)
+		}
+		m := Multi(a, b)
+		allocs := testing.AllocsPerRun(100, func() { m.Emit(ev) })
+		if allocs > 2 {
+			t.Errorf("multi Emit allocates %v/op beyond amortized growth", allocs)
+		}
+	})
+}

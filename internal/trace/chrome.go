@@ -181,7 +181,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			}
 			delete(openOutage, ev.Link)
 			pid := b.pid("outages")
-			tid := b.pid("link "+ev.Link) // stable per-link row id
+			tid := b.pid("link " + ev.Link) // stable per-link row id
 			b.thread(pid, tid, ev.Link)
 			b.out = append(b.out, chromeEvent{
 				Name: "outage", Cat: "outage", Ph: "X",
