@@ -1,0 +1,206 @@
+package cloudburst
+
+// Tests for the context-aware, typed-error public API: OptionError and
+// errors.As, Options.Normalize, RunContext/CompareContext cancellation, the
+// preset constructors, and fault-injection runs through the root package.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestOptionErrorTyped(t *testing.T) {
+	_, err := Run(Options{Batches: -3})
+	if err == nil {
+		t.Fatal("invalid options did not error")
+	}
+	var oe *OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %T does not unwrap to *OptionError", err)
+	}
+	if oe.Field != "Batches" || oe.Value != -3 || oe.Reason == "" {
+		t.Fatalf("OptionError = %+v, want Field=Batches Value=-3 with a reason", *oe)
+	}
+	if got := oe.Error(); got != "cloudburst: Batches -3 must not be negative" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestOptionErrorOnFaults(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	o.Faults = &FaultOptions{ECRevocationMTBF: -1}
+	_, err := Run(o)
+	var oe *OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("fault validation error %v is not an *OptionError", err)
+	}
+	if oe.Field != "Faults.ECRevocationMTBF" {
+		t.Fatalf("Field = %q", oe.Field)
+	}
+}
+
+func TestOptionErrorOnUnknownNames(t *testing.T) {
+	var oe *OptionError
+	if _, err := Run(Options{Scheduler: "nope", Batches: 1}); !errors.As(err, &oe) || oe.Field != "Scheduler" {
+		t.Fatalf("unknown scheduler: err=%v", err)
+	}
+	if _, err := Run(Options{Bucket: "nope", Batches: 1}); !errors.As(err, &oe) || oe.Field != "Bucket" {
+		t.Fatalf("unknown bucket: err=%v", err)
+	}
+}
+
+func TestNormalizeIdempotentAndEquivalent(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	n := o.Normalize()
+	if !reflect.DeepEqual(n, n.Normalize()) {
+		t.Fatal("Normalize is not idempotent")
+	}
+	if n.Batches != o.Batches || n.ICMachines != 8 || n.ECMachines != 2 ||
+		n.JitterCV != 0.15 || n.DiurnalAmplitude != 0.3 {
+		t.Fatalf("unexpected defaults: %+v", n)
+	}
+	// Normalizing must not change behaviour: the explicit-default run is the
+	// same simulation as the zero-default run.
+	r1, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() || r1.Makespan != r2.Makespan {
+		t.Fatalf("normalized run diverged:\n%s\n%s", r1, r2)
+	}
+}
+
+func TestNormalizeAutoscaleFleet(t *testing.T) {
+	n := Options{AutoscaleECMax: 4}.Normalize()
+	if n.ECMachines != 1 {
+		t.Fatalf("autoscaled fleet normalizes to %d machines, want 1", n.ECMachines)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, fastOpts(OrderPreserving))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCompareContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CompareContext(ctx, fastOpts(OrderPreserving))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCompareContextMatchesSequentialRuns(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	reports, err := CompareContext(context.Background(), o, Greedy, OrderPreserving, SIBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []SchedulerName{Greedy, OrderPreserving, SIBS}
+	for i, name := range names {
+		oo := o
+		oo.Scheduler = name
+		want, err := Run(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reports[i].Scheduler != name {
+			t.Fatalf("report %d is %s, want %s", i, reports[i].Scheduler, name)
+		}
+		if reports[i].String() != want.String() {
+			t.Fatalf("concurrent Compare diverged from sequential Run for %s:\n%s\n%s",
+				name, reports[i], want)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	pt := PaperTestbed()
+	if pt.ICMachines != 8 || pt.ECMachines != 2 || pt.Scheduler != OrderPreserving {
+		t.Fatalf("PaperTestbed = %+v", pt)
+	}
+	hv := HighVariance()
+	if hv.JitterCV != 0.5 {
+		t.Fatalf("HighVariance JitterCV = %v, want 0.5", hv.JitterCV)
+	}
+	hv.JitterCV = pt.JitterCV
+	if !reflect.DeepEqual(pt, hv) {
+		t.Fatal("HighVariance differs from PaperTestbed beyond JitterCV")
+	}
+	if _, err := Run(pt); err != nil {
+		t.Fatalf("PaperTestbed run failed: %v", err)
+	}
+}
+
+func TestFaultRunThroughRootAPI(t *testing.T) {
+	o := fastOpts(OrderPreserving)
+	o.Batches = 5
+	o.MeanJobsPerBatch = 12
+	o.Audit = true
+	o.Faults = &FaultOptions{ECRevocationMTBF: 150}
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ECRevocations != 2 {
+		t.Fatalf("ECRevocations = %d, want the whole fleet (2)", r.ECRevocations)
+	}
+	if r.Fallbacks == 0 {
+		t.Fatal("total revocation produced no fallbacks")
+	}
+	if !strings.Contains(r.String(), "faults") {
+		t.Fatalf("report does not summarize faults:\n%s", r)
+	}
+	a, err := r.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK() {
+		t.Fatalf("fault run audit found issues: %v", a.Issues)
+	}
+	// Determinism under faults: the same options reproduce the same report.
+	again, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != r.String() || again.Makespan != r.Makespan {
+		t.Fatal("fault run is not deterministic")
+	}
+}
+
+func TestFaultRunWithICCrashAndStalls(t *testing.T) {
+	o := fastOpts(SIBS)
+	o.Batches = 5
+	o.MeanJobsPerBatch = 12
+	o.Audit = true
+	o.Faults = &FaultOptions{
+		ICCrashMTBF:       500,
+		TransferStallMTBF: 500,
+	}
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ICCrashes == 0 && r.TransferStalls == 0 {
+		t.Skip("no faults landed inside this run's horizon")
+	}
+	a, err := r.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK() {
+		t.Fatalf("audit issues: %v", a.Issues)
+	}
+}

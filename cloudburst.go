@@ -25,7 +25,11 @@
 package cloudburst
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cloudburst/internal/engine"
 	"cloudburst/internal/netsim"
@@ -124,6 +128,12 @@ type Options struct {
 	// estimated completion.
 	ExtraECSites []ECSiteSpec
 
+	// Faults, when non-nil, arms deterministic fault injection: spot-style
+	// EC revocations, repairable IC crashes and transfer stalls, recovered
+	// via bounded retries with exponential backoff and a graceful fallback
+	// to the internal cloud. Nil keeps all fault sources off.
+	Faults *FaultOptions
+
 	// Reporting.
 	OOToleranceJobs  int     // tolerance t_l for the OO metric (default 0)
 	OOSampleInterval float64 // seconds between OO samples (default 120)
@@ -145,80 +155,155 @@ type ECSiteSpec struct {
 	JitterCV       float64 // default: the run's JitterCV
 }
 
-func (o Options) withDefaults() Options {
+// Normalize returns a copy of the options with every default made explicit:
+// the returned value runs identically to the receiver, but each zero field
+// that has a documented default now carries that default. It is idempotent,
+// and Run applies it automatically — call it directly to inspect or tweak
+// the effective configuration (see PaperTestbed).
+//
+// One intentional gap: ExtraECSites bandwidths stay zero, because the
+// engine's per-site default profiles use a fixed 0.3 diurnal amplitude
+// rather than the run's DiurnalAmplitude — filling in the mean bandwidth
+// here would silently change the site's profile shape.
+func (o Options) Normalize() Options {
 	if o.Scheduler == "" {
 		o.Scheduler = OrderPreserving
 	}
 	if o.Bucket == "" {
 		o.Bucket = Uniform
 	}
+	if o.Batches == 0 {
+		o.Batches = 6
+	}
+	if o.MeanJobsPerBatch == 0 {
+		o.MeanJobsPerBatch = 15
+	}
+	if o.BatchIntervalSec == 0 {
+		o.BatchIntervalSec = 180
+	}
+	if o.ICMachines == 0 {
+		o.ICMachines = 8
+	}
+	if o.ECMachines == 0 {
+		if o.AutoscaleECMax > 0 {
+			o.ECMachines = 1
+		} else {
+			o.ECMachines = 2
+		}
+	}
+	if o.UploadMeanBW == 0 {
+		o.UploadMeanBW = 600 * 1024
+	}
+	if o.DownloadMeanBW == 0 {
+		o.DownloadMeanBW = 900 * 1024
+	}
+	if o.DiurnalAmplitude == 0 {
+		o.DiurnalAmplitude = 0.3
+	}
+	if o.JitterCV == 0 {
+		o.JitterCV = 0.15
+	}
+	if o.OutageMTBF > 0 && o.OutageMeanDuration == 0 {
+		o.OutageMeanDuration = 60
+	}
+	if o.AutoscaleECMax > 0 {
+		if o.AutoscaleBootDelay == 0 {
+			o.AutoscaleBootDelay = 120
+		}
+		if o.AutoscaleTargetWait == 0 {
+			o.AutoscaleTargetWait = 300
+		}
+	}
 	if o.OOSampleInterval == 0 {
 		o.OOSampleInterval = 120
+	}
+	if len(o.ExtraECSites) > 0 {
+		sites := make([]ECSiteSpec, len(o.ExtraECSites))
+		copy(sites, o.ExtraECSites)
+		for i := range sites {
+			if sites[i].Machines == 0 {
+				sites[i].Machines = 2
+			}
+			if sites[i].JitterCV == 0 {
+				sites[i].JitterCV = o.JitterCV
+			}
+		}
+		o.ExtraECSites = sites
+	}
+	if o.Faults != nil {
+		f := o.Faults.normalize()
+		o.Faults = &f
 	}
 	return o
 }
 
 // validate rejects option values outside their meaningful domain with a
-// cloudburst:-prefixed error, so misconfigurations fail fast at the API
-// boundary instead of panicking deep inside the simulation substrates.
+// typed *OptionError, so misconfigurations fail fast at the API boundary —
+// with the offending field identified programmatically — instead of
+// panicking deep inside the simulation substrates.
 func (o Options) validate() error {
 	switch {
 	case o.Batches < 0:
-		return fmt.Errorf("cloudburst: Batches %d must not be negative", o.Batches)
+		return optErr("Batches", o.Batches, "must not be negative")
 	case o.MeanJobsPerBatch < 0:
-		return fmt.Errorf("cloudburst: MeanJobsPerBatch %v must not be negative", o.MeanJobsPerBatch)
+		return optErr("MeanJobsPerBatch", o.MeanJobsPerBatch, "must not be negative")
 	case o.BatchIntervalSec < 0:
-		return fmt.Errorf("cloudburst: BatchIntervalSec %v must not be negative", o.BatchIntervalSec)
+		return optErr("BatchIntervalSec", o.BatchIntervalSec, "must not be negative")
 	case o.ICMachines < 0:
-		return fmt.Errorf("cloudburst: ICMachines %d must not be negative", o.ICMachines)
+		return optErr("ICMachines", o.ICMachines, "must not be negative")
 	case o.ECMachines < 0:
-		return fmt.Errorf("cloudburst: ECMachines %d must not be negative", o.ECMachines)
+		return optErr("ECMachines", o.ECMachines, "must not be negative")
 	case o.UploadMeanBW < 0:
-		return fmt.Errorf("cloudburst: UploadMeanBW %v must not be negative", o.UploadMeanBW)
+		return optErr("UploadMeanBW", o.UploadMeanBW, "must not be negative")
 	case o.DownloadMeanBW < 0:
-		return fmt.Errorf("cloudburst: DownloadMeanBW %v must not be negative", o.DownloadMeanBW)
+		return optErr("DownloadMeanBW", o.DownloadMeanBW, "must not be negative")
 	case o.DiurnalAmplitude < 0 || o.DiurnalAmplitude > 1:
-		return fmt.Errorf("cloudburst: DiurnalAmplitude %v out of [0,1]", o.DiurnalAmplitude)
+		return optErr("DiurnalAmplitude", o.DiurnalAmplitude, "out of [0,1]")
 	case o.JitterCV < 0:
-		return fmt.Errorf("cloudburst: JitterCV %v must not be negative", o.JitterCV)
+		return optErr("JitterCV", o.JitterCV, "must not be negative")
 	case o.OutageMTBF < 0:
-		return fmt.Errorf("cloudburst: OutageMTBF %v must not be negative", o.OutageMTBF)
+		return optErr("OutageMTBF", o.OutageMTBF, "must not be negative")
 	case o.OOToleranceJobs < 0:
-		return fmt.Errorf("cloudburst: OOToleranceJobs %d must not be negative", o.OOToleranceJobs)
+		return optErr("OOToleranceJobs", o.OOToleranceJobs, "must not be negative")
 	case o.OOSampleInterval < 0:
-		return fmt.Errorf("cloudburst: OOSampleInterval %v must not be negative", o.OOSampleInterval)
+		return optErr("OOSampleInterval", o.OOSampleInterval, "must not be negative")
 	}
 	if o.OutageMTBF > 0 {
 		if o.OutageMeanDuration < 0 {
-			return fmt.Errorf("cloudburst: OutageMeanDuration %v must not be negative", o.OutageMeanDuration)
+			return optErr("OutageMeanDuration", o.OutageMeanDuration, "must not be negative")
 		}
 		if o.OutageThrottle < 0 || o.OutageThrottle >= 1 {
-			return fmt.Errorf("cloudburst: OutageThrottle %v out of [0,1)", o.OutageThrottle)
+			return optErr("OutageThrottle", o.OutageThrottle, "out of [0,1)")
 		}
 	}
 	if o.AutoscaleECMax < 0 {
-		return fmt.Errorf("cloudburst: AutoscaleECMax %d must not be negative", o.AutoscaleECMax)
+		return optErr("AutoscaleECMax", o.AutoscaleECMax, "must not be negative")
 	}
 	if o.AutoscaleECMax > 0 {
 		switch {
 		case o.AutoscaleBootDelay < 0:
-			return fmt.Errorf("cloudburst: AutoscaleBootDelay %v must not be negative", o.AutoscaleBootDelay)
+			return optErr("AutoscaleBootDelay", o.AutoscaleBootDelay, "must not be negative")
 		case o.AutoscaleTargetWait < 0:
-			return fmt.Errorf("cloudburst: AutoscaleTargetWait %v must not be negative", o.AutoscaleTargetWait)
+			return optErr("AutoscaleTargetWait", o.AutoscaleTargetWait, "must not be negative")
 		case o.ECMachines > o.AutoscaleECMax:
-			return fmt.Errorf("cloudburst: ECMachines %d exceeds AutoscaleECMax %d", o.ECMachines, o.AutoscaleECMax)
+			return optErr("ECMachines", o.ECMachines, "exceeds AutoscaleECMax %d", o.AutoscaleECMax)
 		}
 	}
 	for i, s := range o.ExtraECSites {
 		switch {
 		case s.Machines < 0:
-			return fmt.Errorf("cloudburst: ExtraECSites[%d].Machines %d must not be negative", i, s.Machines)
+			return optErr(fmt.Sprintf("ExtraECSites[%d].Machines", i), s.Machines, "must not be negative")
 		case s.UploadMeanBW < 0:
-			return fmt.Errorf("cloudburst: ExtraECSites[%d].UploadMeanBW %v must not be negative", i, s.UploadMeanBW)
+			return optErr(fmt.Sprintf("ExtraECSites[%d].UploadMeanBW", i), s.UploadMeanBW, "must not be negative")
 		case s.DownloadMeanBW < 0:
-			return fmt.Errorf("cloudburst: ExtraECSites[%d].DownloadMeanBW %v must not be negative", i, s.DownloadMeanBW)
+			return optErr(fmt.Sprintf("ExtraECSites[%d].DownloadMeanBW", i), s.DownloadMeanBW, "must not be negative")
 		case s.JitterCV < 0:
-			return fmt.Errorf("cloudburst: ExtraECSites[%d].JitterCV %v must not be negative", i, s.JitterCV)
+			return optErr(fmt.Sprintf("ExtraECSites[%d].JitterCV", i), s.JitterCV, "must not be negative")
+		}
+	}
+	if o.Faults != nil {
+		if err := o.Faults.validate(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -233,7 +318,7 @@ func (o Options) bucket() (workload.Bucket, error) {
 	case Large:
 		return workload.LargeBias, nil
 	default:
-		return 0, fmt.Errorf("cloudburst: unknown bucket %q", o.Bucket)
+		return 0, optErr("Bucket", o.Bucket, "is not a known bucket name")
 	}
 }
 
@@ -251,7 +336,7 @@ func (o Options) scheduler() (sched.Scheduler, error) {
 	case SIBS:
 		return &sched.SIBS{Cfg: cfg}, nil
 	default:
-		return nil, fmt.Errorf("cloudburst: unknown scheduler %q", o.Scheduler)
+		return nil, optErr("Scheduler", o.Scheduler, "is not a known scheduler name")
 	}
 }
 
@@ -309,13 +394,26 @@ func (o Options) engineConfig() engine.Config {
 			TargetWait: o.AutoscaleTargetWait,
 		}
 	}
+	if o.Faults != nil {
+		cfg.Faults = o.Faults.engineConfig()
+	}
 	return cfg
 }
 
 // Run executes one simulated run and returns its report. Runs are
 // deterministic: identical Options yield identical reports.
 func Run(o Options) (*Report, error) {
-	o = o.withDefaults()
+	return RunContext(context.Background(), o)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation polls the
+// context between event batches and returns ctx.Err() once it fires. A nil
+// context is treated as context.Background().
+func RunContext(ctx context.Context, o Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o = o.Normalize()
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -345,7 +443,7 @@ func Run(o Options) (*Report, error) {
 		tracer = MultiTracer(tracer, rec)
 	}
 	cfg.Tracer = tracer
-	res, err := engine.Run(cfg, s, gen.Generate())
+	res, err := engine.RunContext(ctx, cfg, s, gen.Generate())
 	if err != nil {
 		return nil, err
 	}
@@ -356,18 +454,69 @@ func Run(o Options) (*Report, error) {
 // returns one report per scheduler, in order. The first report is the
 // natural baseline for RelativeOOSeries.
 func Compare(o Options, schedulers ...SchedulerName) ([]*Report, error) {
+	return CompareContext(context.Background(), o, schedulers...)
+}
+
+// CompareContext is Compare with cooperative cancellation. The per-scheduler
+// runs own private simulations, so they execute concurrently on a worker
+// pool bounded by GOMAXPROCS; each run is independently seeded, so reports
+// do not depend on worker interleaving and arrive in scheduler order. On
+// failure the lowest-index error is returned regardless of which worker hit
+// an error first. When Options.Trace is set the runs stay sequential — a
+// shared Tracer is not safe for concurrent Emit, and sequential runs keep
+// the caller's event stream in scheduler order.
+func CompareContext(ctx context.Context, o Options, schedulers ...SchedulerName) ([]*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(schedulers) == 0 {
 		schedulers = []SchedulerName{ICOnly, Greedy, OrderPreserving, SIBS}
 	}
-	out := make([]*Report, 0, len(schedulers))
-	for _, name := range schedulers {
-		oo := o
-		oo.Scheduler = name
-		r, err := Run(oo)
+	runs := make([]Options, len(schedulers))
+	for i, name := range schedulers {
+		runs[i] = o
+		runs[i].Scheduler = name
+	}
+	out := make([]*Report, len(runs))
+	if o.Trace != nil {
+		for i := range runs {
+			r, err := RunContext(ctx, runs[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, len(runs))
+	workers := min(runtime.GOMAXPROCS(0), len(runs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = RunContext(ctx, runs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@
 //	cloudburst -compare -bucket uniform
 //	cloudburst -scheduler Greedy -csv oo > oo.csv
 //	cloudburst -trace events.jsonl -chrome-trace timeline.json -audit
+//	cloudburst -ec-revoke-mtbf 400 -ec-revoke-warn 30 -audit
 package main
 
 import (
@@ -39,6 +40,15 @@ func main() {
 		traceOut  = flag.String("trace", "", "stream the run's event trace to this file as JSON lines")
 		chromeOut = flag.String("chrome-trace", "", "write the run's timeline to this file in Chrome trace-event format (open in chrome://tracing)")
 		audit     = flag.Bool("audit", false, "replay the event trace through the independent SLA auditor and print its summary")
+
+		ecRevokeMTBF = flag.Float64("ec-revoke-mtbf", 0, "revoke EC machines permanently with this mean time between (seconds, 0 = off)")
+		ecRevokeWarn = flag.Float64("ec-revoke-warn", 0, "advance warning before each EC revocation (seconds)")
+		icCrashMTBF  = flag.Float64("ic-crash-mtbf", 0, "crash IC machines with this mean time between (seconds, 0 = off)")
+		icCrashMTTR  = flag.Float64("ic-crash-mttr", 0, "mean IC repair time (seconds, default 300)")
+		stallMTBF    = flag.Float64("stall-mtbf", 0, "stall primary-link transfers with this mean time between (seconds, 0 = off)")
+		stallTimeout = flag.Float64("stall-timeout", 0, "sender timeout aborting a stalled transfer (seconds, default 120)")
+		retries      = flag.Int("retries", 0, "EC re-admissions per disturbed job before IC fallback (0 = default 2, negative = never retry)")
+		faultSeed    = flag.Int64("fault-seed", 0, "seed of the dedicated fault RNG")
 	)
 	flag.Parse()
 
@@ -64,6 +74,20 @@ func main() {
 	}
 	for i := 0; i < *sites; i++ {
 		opts.ExtraECSites = append(opts.ExtraECSites, cloudburst.ECSiteSpec{})
+	}
+	// Arm on any non-zero value (not just positive) so that negative flags
+	// reach the library's validation instead of being silently ignored.
+	if *ecRevokeMTBF != 0 || *icCrashMTBF != 0 || *stallMTBF != 0 {
+		opts.Faults = &cloudburst.FaultOptions{
+			ECRevocationMTBF:     *ecRevokeMTBF,
+			ECRevocationWarning:  *ecRevokeWarn,
+			ICCrashMTBF:          *icCrashMTBF,
+			ICCrashMTTR:          *icCrashMTTR,
+			TransferStallMTBF:    *stallMTBF,
+			TransferStallTimeout: *stallTimeout,
+			MaxRetries:           *retries,
+			Seed:                 *faultSeed,
+		}
 	}
 
 	if *compare {

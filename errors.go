@@ -1,0 +1,34 @@
+package cloudburst
+
+import "fmt"
+
+// OptionError reports a single Options field whose value lies outside its
+// meaningful domain. Every validation failure returned by Run, RunContext,
+// Compare and CompareContext unwraps to this type, so callers can branch on
+// the offending field instead of parsing message strings:
+//
+//	if _, err := cloudburst.Run(o); err != nil {
+//		var oe *cloudburst.OptionError
+//		if errors.As(err, &oe) {
+//			log.Printf("bad option %s (value %v): %s", oe.Field, oe.Value, oe.Reason)
+//		}
+//	}
+type OptionError struct {
+	Field  string // Options field path, e.g. "ECMachines" or "ExtraECSites[1].JitterCV"
+	Value  any    // the rejected value
+	Reason string // why the value was rejected
+}
+
+// Error renders the conventional cloudburst-prefixed message, e.g.
+// "cloudburst: Batches -1 must not be negative".
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("cloudburst: %s %v %s", e.Field, e.Value, e.Reason)
+}
+
+// optErr builds an *OptionError; reason may be a printf format over args.
+func optErr(field string, value any, reason string, args ...any) *OptionError {
+	if len(args) > 0 {
+		reason = fmt.Sprintf(reason, args...)
+	}
+	return &OptionError{Field: field, Value: value, Reason: reason}
+}

@@ -15,18 +15,16 @@ import (
 )
 
 func main() {
-	// A heavy afternoon: ten batches, ~18 jobs each, large-biased sizes,
-	// Internet path misbehaving (jitter CV 0.5), press tolerates being at
-	// most 4 jobs out of order.
-	base := cloudburst.Options{
-		Bucket:           cloudburst.Large,
-		Batches:          10,
-		MeanJobsPerBatch: 18,
-		JitterCV:         0.5,
-		OOToleranceJobs:  4,
-		WorkloadSeed:     2026,
-		NetSeed:          7,
-	}
+	// A heavy afternoon: the high-variance preset (jitter CV 0.5) with ten
+	// batches of ~18 large-biased jobs; the press tolerates being at most
+	// 4 jobs out of order.
+	base := cloudburst.HighVariance()
+	base.Bucket = cloudburst.Large
+	base.Batches = 10
+	base.MeanJobsPerBatch = 18
+	base.OOToleranceJobs = 4
+	base.WorkloadSeed = 2026
+	base.NetSeed = 7
 
 	reports, err := cloudburst.Compare(base,
 		cloudburst.ICOnly, cloudburst.Greedy, cloudburst.OrderPreserving)

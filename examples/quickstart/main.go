@@ -11,11 +11,10 @@ import (
 )
 
 func main() {
-	opts := cloudburst.Options{
-		Bucket:       cloudburst.Uniform,
-		WorkloadSeed: 1,
-		NetSeed:      1,
-	}
+	// The paper's test bed with every default explicit; only the seeds vary.
+	opts := cloudburst.PaperTestbed()
+	opts.WorkloadSeed = 1
+	opts.NetSeed = 1
 
 	reports, err := cloudburst.Compare(opts,
 		cloudburst.ICOnly, cloudburst.Greedy, cloudburst.OrderPreserving, cloudburst.SIBS)

@@ -26,10 +26,22 @@ type Machine struct {
 	addedAt   float64
 	retiredAt float64 // -1 while active
 	draining  bool
+
+	// Fault state. failed: down (crashed or revoked), takes no work.
+	// doomed: revocation warning received, takes no new work while the
+	// current task races the kill deadline.
+	failed bool
+	doomed bool
 }
 
 // Busy reports whether the machine is executing a task.
 func (m *Machine) Busy() bool { return m.running != nil }
+
+// Failed reports whether the machine is currently down.
+func (m *Machine) Failed() bool { return m.failed }
+
+// Doomed reports whether the machine has received a revocation warning.
+func (m *Machine) Doomed() bool { return m.doomed }
 
 // BusyTime returns the seconds spent executing up to virtual time now.
 func (m *Machine) BusyTime(now float64) float64 {
@@ -55,6 +67,7 @@ type Task struct {
 
 	machine *Machine
 	done    bool
+	aborted bool // machine failed mid-task; the pending completion is void
 }
 
 // Running reports whether the task is currently executing.
@@ -94,6 +107,7 @@ type Cluster struct {
 	createdAt    float64
 	completed    int
 	peakMachines int
+	revoked      int // machines permanently lost to fault injection
 	doneCb       sim.Callback // prebound task-completion callback
 	// OnIdle fires whenever the cluster transitions to fully idle (no
 	// running or queued tasks); the rescheduling strategies hook it.
@@ -134,6 +148,22 @@ func Uniform(eng *sim.Engine, name string, n int, speed float64) *Cluster {
 // Size returns the number of machines.
 func (c *Cluster) Size() int { return len(c.machines) }
 
+// ActiveSize returns the number of machines able to accept work: present,
+// not failed and not under a revocation warning.
+func (c *Cluster) ActiveSize() int {
+	n := 0
+	for _, m := range c.machines {
+		if !m.failed && !m.doomed {
+			n++
+		}
+	}
+	return n
+}
+
+// Revoked returns the number of machines permanently removed by fault
+// injection.
+func (c *Cluster) Revoked() int { return c.revoked }
+
 // Machines returns the machine list (shared; do not mutate).
 func (c *Cluster) Machines() []*Machine { return c.machines }
 
@@ -165,7 +195,7 @@ func (c *Cluster) dispatch() {
 
 func (c *Cluster) freeMachine() *Machine {
 	for _, m := range c.machines {
-		if !m.Busy() && !m.draining {
+		if !m.Busy() && !m.draining && !m.failed && !m.doomed {
 			return m
 		}
 	}
@@ -192,6 +222,11 @@ func (c *Cluster) start(m *Machine, t *Task) {
 // the task records its machine, so no per-task closure is needed.
 func (c *Cluster) taskDone(now float64, arg any) {
 	t := arg.(*Task)
+	if t.aborted {
+		// The machine failed mid-task; CallAfter events cannot be cancelled,
+		// so the stale completion fires here and is dropped.
+		return
+	}
 	m := t.machine
 	t.done = true
 	m.running = nil

@@ -56,7 +56,7 @@ func (c *Cluster) DrainIdleMachine(min int) *Machine {
 		return nil
 	}
 	for _, m := range c.machines {
-		if !m.Busy() && !m.draining {
+		if !m.Busy() && !m.draining && !m.failed && !m.doomed {
 			m.draining = true
 			c.retire(m)
 			return m

@@ -74,6 +74,12 @@ type Config struct {
 	// when idle. ECMachines then only sets the initial fleet.
 	Autoscale *AutoscaleConfig
 
+	// Faults, when set, injects deterministic seeded failures — EC
+	// revocations, IC crashes, transfer stalls — and drives the recovery
+	// policies (bounded re-burst with backoff, IC fallback). Faults apply to
+	// the primary EC and its links only; remote sites are unaffected.
+	Faults *FaultConfig
+
 	// Safety valve: abort if the virtual clock passes this (default 30 days).
 	MaxVirtualTime float64
 
@@ -217,6 +223,14 @@ type Result struct {
 	// Learned-model diagnostics.
 	QRSMR2                float64
 	PredictorObservations int
+
+	// Fault/recovery accounting (all zero without fault injection).
+	ECRevocations  int // EC machines permanently revoked
+	ICCrashes      int // IC machine failures injected
+	TransferStalls int // transfers frozen by stall injection
+	TransferAborts int // stalled transfers killed by the timeout
+	Retries        int // jobs re-admitted to the EC pipeline after a fault
+	Fallbacks      int // jobs that abandoned the EC for the IC
 }
 
 // ErrTimeout is returned when a run exceeds Config.MaxVirtualTime,
@@ -234,6 +248,9 @@ type uploader interface {
 	// Channels reports how many transfers can run concurrently given the
 	// current size-interval bounds (1 when splitting is collapsed).
 	Channels() int
+	// Queues exposes the underlying transfer queues so fault injection can
+	// arm stall models and recovery hooks on each.
+	Queues() []*netsim.Queue
 }
 
 type singleUploader struct{ q *netsim.Queue }
@@ -245,6 +262,7 @@ func (u singleUploader) StealWaiting() *netsim.QueueItem  { return u.q.StealHead
 func (u singleUploader) Busy() bool                       { return u.q.Busy() }
 func (u singleUploader) SetBounds(sBound, mBound int64)   {}
 func (u singleUploader) Channels() int                    { return 1 }
+func (u singleUploader) Queues() []*netsim.Queue          { return []*netsim.Queue{u.q} }
 
 type sibsUploader struct{ u *netsim.SplitUploader }
 
@@ -253,6 +271,9 @@ func (u sibsUploader) Backlog() float64                 { return u.u.Backlog() }
 func (u sibsUploader) QueueBacklogs() (s, m, l float64) { return u.u.QueueBacklogs() }
 func (u sibsUploader) Busy() bool                       { return u.u.Busy() }
 func (u sibsUploader) SetBounds(sBound, mBound int64)   { u.u.SetBounds(sBound, mBound) }
+func (u sibsUploader) Queues() []*netsim.Queue {
+	return []*netsim.Queue{u.u.Small, u.u.Medium, u.u.Large}
+}
 
 // Channels counts the distinct size intervals the current bounds define.
 func (u sibsUploader) Channels() int {
@@ -295,6 +316,9 @@ type jobState struct {
 	scheduledAt float64
 	uploadDone  float64
 	computeDone float64
+
+	// attempts counts fault recoveries consumed against the retry budget.
+	attempts int
 }
 
 // Engine is one run's mutable state.
@@ -319,6 +343,14 @@ type Engine struct {
 
 	scaler *autoscaler
 	sites  []*ecSite
+
+	// Fault injection and recovery accounting.
+	icFaults *cluster.FaultInjector
+	ecFaults *cluster.FaultInjector
+	stalls   int
+	aborts   int
+	retries  int
+	fallbks  int
 
 	alloc   *job.Counter
 	seqNext int

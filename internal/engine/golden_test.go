@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"cloudburst/internal/cluster"
 	"cloudburst/internal/engine"
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/sched"
@@ -82,6 +83,27 @@ func goldenCases() []goldenCase {
 		NetSeed: 43,
 		Outages: &netsim.OutageModel{MeanTimeBetween: 3000, MeanDuration: 300, ThrottleFactor: 0.2},
 	}
+	// Fault-injection cases: each arms exactly one fault source with its own
+	// seeded RNG, pinning the recovery state machine (retry, backoff,
+	// slack-gated re-burst, IC fallback) alongside the fault-free paths.
+	ecRevoke := engine.Config{
+		NetSeed: 43,
+		Faults: &engine.FaultConfig{
+			ECRevocation: cluster.FaultModel{MTBF: 400, WarnLead: 30},
+		},
+	}
+	icCrash := engine.Config{
+		NetSeed: 43,
+		Faults: &engine.FaultConfig{
+			ICCrash: cluster.FaultModel{MTBF: 600, MTTR: 300},
+		},
+	}
+	stall := engine.Config{
+		NetSeed: 43,
+		Faults: &engine.FaultConfig{
+			TransferStalls: netsim.StallModel{MeanTimeBetween: 1200, Timeout: 90},
+		},
+	}
 	return []goldenCase{
 		{"greedy", base, func() sched.Scheduler { return sched.Greedy{} }},
 		{"op", base, func() sched.Scheduler { return sched.OrderPreserving{} }},
@@ -91,6 +113,9 @@ func goldenCases() []goldenCase {
 		{"op-multisite", multi, func() sched.Scheduler { return sched.OrderPreserving{} }},
 		{"op-autoscale", scaled, func() sched.Scheduler { return sched.OrderPreserving{} }},
 		{"greedy-outage", outage, func() sched.Scheduler { return sched.Greedy{} }},
+		{"op-ec-revoke", ecRevoke, func() sched.Scheduler { return sched.OrderPreserving{} }},
+		{"op-ic-crash", icCrash, func() sched.Scheduler { return sched.OrderPreserving{} }},
+		{"sibs-stall", stall, func() sched.Scheduler { return &sched.SIBS{} }},
 	}
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"cloudburst/internal/sched"
 	"cloudburst/internal/sim"
 	"cloudburst/internal/workload"
@@ -47,5 +49,5 @@ func RunInspect(cfg Config, s sched.Scheduler, batches []workload.Batch, period 
 			})
 		})
 	}
-	return runWithHook(inner, s, batches, hook)
+	return runWithHook(context.Background(), inner, s, batches, hook)
 }

@@ -39,7 +39,7 @@ func (e *Engine) stealBack() {
 }
 
 func (e *Engine) idlePull() {
-	if e.upQ.Busy() || e.upQ.Backlog() > 0 {
+	if e.upQ.Busy() || e.upQ.Backlog() > 0 || e.ec.Size() == 0 {
 		return
 	}
 	queued := e.ic.QueuedTasks()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"cloudburst/internal/cluster"
@@ -19,13 +20,33 @@ import (
 // summary. The run is fully deterministic for a fixed (config, scheduler,
 // workload) triple.
 func Run(cfg Config, s sched.Scheduler, batches []workload.Batch) (*Result, error) {
-	return runWithHook(cfg, s, batches, nil)
+	return runWithHook(context.Background(), cfg, s, batches, nil)
+}
+
+// RunContext is Run with cooperative cancellation: the drive loop checks
+// ctx periodically and returns ctx.Err() when it fires. Cancellation does
+// not affect determinism — a run that completes is bit-identical to Run.
+func RunContext(ctx context.Context, cfg Config, s sched.Scheduler, batches []workload.Batch) (*Result, error) {
+	return runWithHook(ctx, cfg, s, batches, nil)
 }
 
 // runWithHook is Run with an optional post-build hook (used by RunInspect
 // to attach observers before the clock starts).
-func runWithHook(cfg Config, s sched.Scheduler, batches []workload.Batch, hook func(*Engine)) (*Result, error) {
+func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []workload.Batch, hook func(*Engine)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
+	if cfg.Faults != nil {
+		ff := cfg.Faults.withDefaults()
+		if err := ff.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: invalid fault config: %w", err)
+		}
+		if ff.Enabled() && cfg.MapWays > 1 {
+			return nil, fmt.Errorf("engine: fault injection does not support MapWays > 1")
+		}
+		cfg.Faults = &ff
+	}
 	e := &Engine{
 		cfg:     cfg,
 		sched:   s,
@@ -82,8 +103,20 @@ func runWithHook(cfg Config, s sched.Scheduler, batches []workload.Batch, hook f
 
 	// Drive until every queue slot completes. Perpetual tickers (probes,
 	// rescheduling) keep the event queue non-empty, so termination is by
-	// completion count with a virtual-time safety valve.
-	for e.completed < e.total {
+	// completion count with a virtual-time safety valve. Cancellation is
+	// checked once up front — so an already-cancelled context never starts
+	// the simulation, however short — then polled every 1024 steps, cheap
+	// enough to disappear in the hot path, frequent enough that long sweeps
+	// stop promptly.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for steps := 0; e.completed < e.total; steps++ {
+		if steps&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if !e.eng.Step() {
 			return nil, fmt.Errorf("engine: event queue drained with %d/%d jobs done", e.completed, e.total)
 		}
@@ -164,6 +197,10 @@ func (e *Engine) build() {
 	if cfg.Rescheduling {
 		sim.NewTicker(e.eng, cfg.ReschedulingPeriod, func(now float64) { e.reschedule() })
 	}
+
+	if cfg.Faults != nil {
+		e.buildFaults()
+	}
 }
 
 // state snapshots the observable system for the scheduler.
@@ -227,7 +264,7 @@ func (e *Engine) state() *sched.State {
 		ICMachines:      e.ic.Size(),
 		ICSpeed:         e.cfg.ICSpeed,
 		ECBacklogStd:    e.ec.BacklogStdSeconds(),
-		ECMachines:      e.ec.Size(),
+		ECMachines:      e.ec.ActiveSize(),
 		ECSpeed:         e.cfg.ECSpeed,
 		ECPendingStd:    ecPending,
 		DownloadPending: downPending,
@@ -378,6 +415,12 @@ func (e *Engine) submitUpload(js *jobState) {
 }
 
 func (e *Engine) submitEC(js *jobState) {
+	if e.ec.Size() == 0 {
+		// The upload landed on a fully revoked EC (everything died while the
+		// transfer was in flight); nothing can ever run it there.
+		e.fallBack(js, e.eng.Now())
+		return
+	}
 	if e.cfg.MapWays > 1 {
 		start := e.eng.Now()
 		cluster.MapReduceJob(e.ec, js.j, js.j.TrueProcTime, e.cfg.MapWays, e.cfg.MergeFraction,
@@ -497,6 +540,14 @@ func (e *Engine) result(batches []workload.Batch) *Result {
 		FinalThreads:          e.upTuner.Threads(),
 		QRSMR2:                e.estimator.GlobalModel().R2(),
 		PredictorObservations: e.upPred.Observations(),
+		ECRevocations:         e.ec.Revoked(),
+		TransferStalls:        e.stalls,
+		TransferAborts:        e.aborts,
+		Retries:               e.retries,
+		Fallbacks:             e.fallbks,
+	}
+	if e.icFaults != nil {
+		r.ICCrashes = e.icFaults.Failures()
 	}
 	if e.prober != nil {
 		r.ProbeCount = e.prober.Count()
@@ -515,9 +566,10 @@ func (e *Engine) result(batches []workload.Batch) *Result {
 }
 
 // ecUtilAt picks the utilization basis: rented machine-time under
-// autoscaling, the fixed-fleet definition (eq. 9) otherwise.
+// autoscaling or once any machine was revoked (the fixed-fleet denominator
+// stops being meaningful), the fixed-fleet definition (eq. 9) otherwise.
 func (e *Engine) ecUtilAt(end float64) float64 {
-	if e.scaler != nil {
+	if e.scaler != nil || e.ec.Revoked() > 0 {
 		return e.ec.UtilizationRented(end)
 	}
 	return e.ec.UtilizationAt(end)

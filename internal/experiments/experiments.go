@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -111,6 +112,16 @@ type RunSpec struct {
 // failure the lowest-index error is returned regardless of which worker
 // hit an error first.
 func RunReplicated(spec RunSpec, reps []Replication) ([]*engine.Result, error) {
+	return RunReplicatedContext(context.Background(), spec, reps)
+}
+
+// RunReplicatedContext is RunReplicated with cooperative cancellation: each
+// in-flight run stops at its next poll and ctx.Err() is returned. Workers
+// that have not started a replication when the context fires skip it.
+func RunReplicatedContext(ctx context.Context, spec RunSpec, reps []Replication) ([]*engine.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*engine.Result, len(reps))
 	errs := make([]error, len(reps))
 	workers := min(runtime.GOMAXPROCS(0), len(reps))
@@ -128,11 +139,18 @@ func RunReplicated(spec RunSpec, reps []Replication) ([]*engine.Result, error) {
 				if i >= len(reps) {
 					return
 				}
-				results[i], errs[i] = runOne(spec, reps[i])
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = runOne(ctx, spec, reps[i])
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -142,7 +160,7 @@ func RunReplicated(spec RunSpec, reps []Replication) ([]*engine.Result, error) {
 }
 
 // runOne executes a single replication.
-func runOne(spec RunSpec, rep Replication) (*engine.Result, error) {
+func runOne(ctx context.Context, spec RunSpec, rep Replication) (*engine.Result, error) {
 	wcfg := spec.Workload
 	wcfg.Bucket = spec.Bucket
 	wcfg.Seed = rep.WorkloadSeed
@@ -152,7 +170,7 @@ func runOne(spec RunSpec, rep Replication) (*engine.Result, error) {
 	}
 	ecfg := spec.Engine
 	ecfg.NetSeed = rep.NetSeed
-	res, err := engine.Run(ecfg, spec.Scheduler(), gen.Generate())
+	res, err := engine.RunContext(ctx, ecfg, spec.Scheduler(), gen.Generate())
 	if err != nil {
 		return nil, err
 	}

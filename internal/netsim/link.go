@@ -23,6 +23,7 @@ type Transfer struct {
 	remaining   float64
 	rate        float64
 	done        bool
+	stalled     bool
 	onDone      func(at float64, tr *Transfer)
 	link        *Link
 	concSeconds float64 // ∫ (concurrent transfer count) dt while active
@@ -244,7 +245,15 @@ func (l *Link) advance() {
 		if len(l.active) > 0 {
 			l.busyTime += dt
 		}
-		conc := float64(len(l.active))
+		// Stalled transfers hold no bandwidth, so they do not count toward
+		// the concurrency the path-BW estimator scales by.
+		flowing := 0
+		for _, tr := range l.active {
+			if !tr.stalled {
+				flowing++
+			}
+		}
+		conc := float64(flowing)
 		for _, tr := range l.active {
 			moved := tr.rate * dt
 			tr.remaining -= moved
@@ -296,7 +305,14 @@ func (l *Link) completeFinished() {
 // allocate.
 func (l *Link) waterFill() {
 	capLeft := l.Capacity()
-	order := append(l.sortScratch[:0], l.active...)
+	order := l.sortScratch[:0]
+	for _, tr := range l.active {
+		if tr.stalled {
+			tr.rate = 0 // frozen flows take no share
+			continue
+		}
+		order = append(order, tr)
+	}
 	sort.Slice(order, func(i, j int) bool {
 		return l.threads.Limit(order[i].Threads) < l.threads.Limit(order[j].Threads)
 	})

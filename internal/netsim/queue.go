@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"cloudburst/internal/sim"
+	"cloudburst/internal/stats"
 )
 
 // QueueItem is one payload waiting to traverse a link.
@@ -39,6 +40,18 @@ type Queue struct {
 	// completed transfer (achieved rate scaled by mean concurrency) — the
 	// signal the network predictor learns from.
 	OnMeasure func(at, pathBW float64)
+
+	// OnStall fires when the in-flight transfer freezes; OnAbort fires when
+	// the sender gives up on it after the stall timeout. An aborted item's
+	// OnDone never runs — the caller owns recovery. Both are optional.
+	OnStall func(at float64, item *QueueItem)
+	OnAbort func(at float64, item *QueueItem)
+
+	stallModel StallModel
+	stallRNG   *stats.RNG
+	stallTm    sim.Timer
+	abortTm    sim.Timer
+	aborted    int
 
 	completed  int
 	bytesMoved int64
@@ -78,6 +91,7 @@ func (q *Queue) startNext() {
 	q.items = q.items[1:]
 	q.current = it
 	q.currentTr = q.link.Start(q.Name, it.Bytes, q.threads(), func(at float64, tr *Transfer) {
+		q.cancelStallTimers()
 		q.current = nil
 		q.currentTr = nil
 		q.completed++
@@ -97,6 +111,79 @@ func (q *Queue) startNext() {
 			q.OnIdle(q)
 		}
 	})
+	if q.stallRNG != nil {
+		// One draw per transfer: exponential time-to-stall. The timer is
+		// cancelled if the transfer completes first.
+		q.stallTm = q.eng.TimerAfter(q.stallRNG.Exponential(q.stallModel.MeanTimeBetween), q.stallFired, it)
+	}
+}
+
+// EnableStalls arms a stall model on this queue. rng must be dedicated to
+// this queue for reproducibility. Panics on an invalid model (configuration
+// error, like NewLink's outage handling).
+func (q *Queue) EnableStalls(model StallModel, rng *stats.RNG) {
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	if !model.Enabled() {
+		return
+	}
+	q.stallModel, q.stallRNG = model, rng
+}
+
+// Aborted returns the number of transfers the stall timeout killed.
+func (q *Queue) Aborted() int { return q.aborted }
+
+func (q *Queue) cancelStallTimers() {
+	if q.stallTm.Active() {
+		q.eng.CancelTimer(q.stallTm)
+		q.stallTm = sim.Timer{}
+	}
+	if q.abortTm.Active() {
+		q.eng.CancelTimer(q.abortTm)
+		q.abortTm = sim.Timer{}
+	}
+}
+
+// stallFired freezes the in-flight transfer and starts the abort countdown.
+func (q *Queue) stallFired(at float64, arg any) {
+	q.stallTm = sim.Timer{}
+	it := arg.(*QueueItem)
+	if q.current != it || q.currentTr == nil {
+		return
+	}
+	q.link.Stall(q.currentTr)
+	// Stall advances the link first; a transfer within epsilon of done
+	// completes inside that reallocation instead of stalling.
+	if q.current != it {
+		return
+	}
+	if q.OnStall != nil {
+		q.OnStall(at, it)
+	}
+	q.abortTm = q.eng.TimerAfter(q.stallModel.Timeout, q.abortFired, it)
+}
+
+// abortFired kills the stalled transfer: the item's OnDone never runs, the
+// caller recovers the job through OnAbort, and the queue moves on.
+func (q *Queue) abortFired(at float64, arg any) {
+	q.abortTm = sim.Timer{}
+	it := arg.(*QueueItem)
+	if q.current != it || q.currentTr == nil {
+		return
+	}
+	tr := q.currentTr
+	q.current = nil
+	q.currentTr = nil
+	q.aborted++
+	q.link.Abort(tr)
+	if q.OnAbort != nil {
+		q.OnAbort(at, it)
+	}
+	q.startNext()
+	if q.current == nil && len(q.items) == 0 && q.OnIdle != nil {
+		q.OnIdle(q)
+	}
 }
 
 // Busy reports whether a transfer is in flight.

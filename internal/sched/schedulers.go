@@ -56,6 +56,11 @@ func (Greedy) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Dec
 		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: tic, Gated: true}
 		if tic <= tec {
 			d.Place = PlaceIC
+			if math.IsInf(tec, 1) {
+				// No viable EC pipeline (fleet revoked): there was no real
+				// comparison, and +Inf must not reach the trace stream.
+				d.EstEC, d.Gated = 0, false
+			}
 		} else {
 			pipes[site].commit(j, est)
 			d.Place, d.Site = PlaceEC, site
@@ -88,6 +93,9 @@ func (GreedyTracking) Schedule(batch []*job.Job, st *State, alloc job.IDAllocato
 		if tic <= tec {
 			ic.add(est, 0)
 			d.Place = PlaceIC
+			if math.IsInf(tec, 1) {
+				d.EstEC, d.Gated = 0, false
+			}
 		} else {
 			pipes[site].commit(j, est)
 			d.Place, d.Site = PlaceEC, site
@@ -221,6 +229,9 @@ func placeWithSlack(jobs []*job.Job, st *State, cfg Config) []Decision {
 			d.Place = PlaceIC
 			if done > maxICCompletion {
 				maxICCompletion = done
+			}
+			if math.IsInf(tec, 1) {
+				d.EstEC, d.Gated = 0, false
 			}
 		}
 		out = append(out, d)

@@ -248,6 +248,10 @@ type ecPipeline struct {
 	channels float64
 	downFree float64
 	pool     *virtualPool
+	// viable is false when the pool has no machines at all (e.g. every EC
+	// VM revoked); estimates then return +Inf so every comparison routes
+	// the job to the IC without special-casing the schedulers.
+	viable bool
 }
 
 func buildPipeline(now float64, upBW, downBW func(t float64) float64,
@@ -271,6 +275,7 @@ func buildPipeline(now float64, upBW, downBW func(t float64) float64,
 		channels: float64(channels),
 		downFree: downBacklog / guardBW(downBW(now)),
 		pool:     newVirtualPool(poolMachines, poolSpeed, poolBacklog),
+		viable:   poolMachines > 0,
 	}
 }
 
@@ -331,6 +336,9 @@ func (p *ecPipeline) chRateAt(startOffset float64) float64 {
 // estimate returns the completion offset for job j if bursted now, without
 // committing it.
 func (p *ecPipeline) estimate(j *job.Job, estStd float64) float64 {
+	if !p.viable {
+		return math.Inf(1)
+	}
 	start := p.upFree.min()
 	upEnd := start + float64(j.InputSize)/p.chRateAt(start)
 	procEnd := p.peekProc(estStd, upEnd)

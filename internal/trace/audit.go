@@ -156,9 +156,13 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 	intervals := make(map[machineKey][]interval)
 	machineOrder := []machineKey{} // first-seen order per cluster machine
 
-	// Elastic-EC rental reconstruction.
+	// Elastic-EC rental reconstruction. A fatal EC MachineFailed (spot
+	// revocation) ends a rental the same way a drain does; once any EC
+	// machine is revoked the fixed-fleet utilization denominator is wrong,
+	// so the auditor switches to the rented basis (ecFatal).
 	type rental struct{ added, retired float64 } // retired < 0: still active
 	ecRentals := make(map[int]*rental)           // machine ID → rental span
+	ecFatal := false
 
 	for _, ev := range events {
 		switch ev.Type {
@@ -189,6 +193,25 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 				delete(movedToIC, ev.JobID)
 			case "IC":
 				movedToIC[ev.JobID] = true
+			}
+		case JobRetried:
+			// A retry that re-passed the slack rule is a fresh admission the
+			// auditor verifies against the retry time; an ungated retry
+			// (download redo, IC resubmit) clears the stale threshold instead.
+			if ev.To == "EC" {
+				admissions[ev.JobID] = ev
+				delete(movedToIC, ev.JobID)
+			}
+		case JobFellBack:
+			movedToIC[ev.JobID] = true
+		case MachineFailed:
+			if ev.Cluster == "ec" && ev.Fatal {
+				ecFatal = true
+				if r, ok := ecRentals[ev.Machine]; ok && r.retired < 0 {
+					r.retired = ev.T
+				} else if !ok {
+					a.issuef("fatal MachineFailed for unknown EC machine %d at t=%.3f", ev.Machine, ev.T)
+				}
 			}
 		case UploadEnd:
 			uploadEnd[ev.JobID] = ev.T
@@ -312,7 +335,7 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 			a.ICUtil = busy("ic") / (end * float64(cfg.ICMachines))
 		}
 		ecBusy := busy("ec")
-		if cfg.Autoscale {
+		if cfg.Autoscale || ecFatal {
 			var rented float64
 			for _, r := range ecRentals {
 				stop := r.retired

@@ -59,6 +59,26 @@ const (
 	Rescheduled
 	// JobDelivered marks a finished output landing in the result queue.
 	JobDelivered
+	// MachineFailed marks a fault-injected machine loss: an EC VM revocation
+	// (Fatal=true when the machine never returns) or an IC crash. If a task
+	// was running it is aborted; a synthetic ComputeEnd precedes this event
+	// so compute intervals always close.
+	MachineFailed
+	// MachineRestored marks a crashed (non-fatal) machine coming back.
+	MachineRestored
+	// TransferStalled marks a transfer freezing at zero rate; if it does not
+	// finish within the stall timeout a TransferAborted follows.
+	TransferStalled
+	// TransferAborted marks a stalled transfer being killed; the job enters
+	// the recovery path.
+	TransferAborted
+	// JobRetried records a recovered job re-entering the pipeline: To="EC"
+	// with Gated=true when the retry re-passed the slack rule, To="IC" for an
+	// IC resubmit after a crash, Gated=false for a download-phase retry.
+	JobRetried
+	// JobFellBack records a recovered job abandoning the EC for the IC after
+	// exhausting retries or losing every EC machine.
+	JobFellBack
 
 	numEventTypes // sentinel
 )
@@ -81,6 +101,12 @@ var eventTypeNames = [numEventTypes]string{
 	AutoscaleDrain:   "AutoscaleDrain",
 	Rescheduled:      "Rescheduled",
 	JobDelivered:     "JobDelivered",
+	MachineFailed:    "MachineFailed",
+	MachineRestored:  "MachineRestored",
+	TransferStalled:  "TransferStalled",
+	TransferAborted:  "TransferAborted",
+	JobRetried:       "JobRetried",
+	JobFellBack:      "JobFellBack",
 }
 
 // String names the event type.
@@ -167,6 +193,12 @@ type Event struct {
 	// Rescheduled: the move direction ("EC"→"IC" for steal-back).
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
+
+	// Fault and recovery detail. Fatal marks a MachineFailed that permanently
+	// removes the machine (spot revocation); Attempt is the 1-based retry
+	// count on JobRetried/JobFellBack.
+	Fatal   bool `json:"fatal,omitempty"`
+	Attempt int  `json:"attempt,omitempty"`
 
 	// Run shape (RunConfigured).
 	ICMachines int     `json:"icMachines,omitempty"`

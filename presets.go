@@ -1,0 +1,19 @@
+package cloudburst
+
+// PaperTestbed returns the paper's experimental setup (Sec. V) with every
+// default made explicit: 8 IC VMs, 2 EC VMs, six ~15-job batches every
+// three minutes, a diurnal ~600 kB/s upload / ~900 kB/s download pipe with
+// moderate jitter, and the order-preserving scheduler. Tweak fields freely
+// before passing the result to Run — it is a plain value.
+func PaperTestbed() Options {
+	return Options{}.Normalize()
+}
+
+// HighVariance is the PaperTestbed under the paper's high-variation network
+// regime: identical in every respect except that bandwidth jitter rises to
+// CV ≈ 0.5, the setting the paper uses to stress the slack rule.
+func HighVariance() Options {
+	o := PaperTestbed()
+	o.JitterCV = 0.5
+	return o
+}

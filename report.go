@@ -50,6 +50,16 @@ type Report struct {
 	SiteBursts []int
 	SiteUtils  []float64
 
+	// Fault-injection accounting (all zero unless Options.Faults armed a
+	// fault source). Retries counts re-admissions of disturbed jobs;
+	// Fallbacks counts jobs that abandoned the EC for the internal cloud.
+	ECRevocations  int
+	ICCrashes      int
+	TransferStalls int
+	TransferAborts int
+	Retries        int
+	Fallbacks      int
+
 	opts Options
 	res  *engine.Result
 	rec  *TraceRecorder // non-nil when the run recorded its event stream
@@ -77,6 +87,12 @@ func newReport(o Options, res *engine.Result, rec *TraceRecorder) *Report {
 		ECPeakMachines:   res.ECPeakMachines,
 		SiteBursts:       res.SiteBursts,
 		SiteUtils:        res.SiteUtils,
+		ECRevocations:    res.ECRevocations,
+		ICCrashes:        res.ICCrashes,
+		TransferStalls:   res.TransferStalls,
+		TransferAborts:   res.TransferAborts,
+		Retries:          res.Retries,
+		Fallbacks:        res.Fallbacks,
 		opts:             o,
 		res:              res,
 		rec:              rec,
@@ -117,6 +133,10 @@ func (r *Report) String() string {
 		r.BurstRatio, 100*r.ICUtil, 100*r.ECUtil)
 	fmt.Fprintf(&b, "  ordering   %d stalls (%.0fs total, worst %.0fs), %d valleys\n",
 		r.PeakCount, r.TotalStall, r.MaxPeak, r.ValleyCount)
+	if r.opts.Faults != nil {
+		fmt.Fprintf(&b, "  faults     %d EC revoked, %d IC crashes, %d stalls/%d aborts → %d retries, %d fallbacks\n",
+			r.ECRevocations, r.ICCrashes, r.TransferStalls, r.TransferAborts, r.Retries, r.Fallbacks)
+	}
 	return b.String()
 }
 
