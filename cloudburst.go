@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"cloudburst/internal/engine"
+	"cloudburst/internal/invariant"
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/sched"
 	"cloudburst/internal/workload"
@@ -145,6 +146,14 @@ type Options struct {
 	// Audit additionally records the stream in memory so Report.Audit can
 	// independently recompute the SLA metrics after the run.
 	Audit bool
+	// Verify attaches the runtime invariant checker to the run: every
+	// emitted event is audited against the simulation's structural
+	// invariants (clock monotonicity, byte conservation, bandwidth
+	// ceilings, slack admissions, OO monotonicity, single delivery), and
+	// the run fails with a *VerifyError if any is violated. Expect roughly
+	// 2x the wall-clock of an untraced run; intended for CI and debugging,
+	// not production sweeps.
+	Verify bool
 }
 
 // ECSiteSpec describes one additional external-cloud provider.
@@ -442,10 +451,20 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 		rec = NewTraceRecorder()
 		tracer = MultiTracer(tracer, rec)
 	}
+	var chk *invariant.Checker
+	if o.Verify {
+		chk = invariant.New()
+		tracer = MultiTracer(tracer, chk)
+	}
 	cfg.Tracer = tracer
 	res, err := engine.RunContext(ctx, cfg, s, gen.Generate())
 	if err != nil {
 		return nil, err
+	}
+	if chk != nil {
+		if vs := chk.Finish(); len(vs) > 0 {
+			return nil, &VerifyError{Violations: toViolations(vs), Total: chk.Total()}
+		}
 	}
 	return newReport(o, res, rec), nil
 }

@@ -31,6 +31,36 @@ func TestRunDefaults(t *testing.T) {
 	}
 }
 
+func TestRunVerify(t *testing.T) {
+	// A verified run must behave identically to an unverified one: the
+	// checker is a passive tracer.
+	o := fastOpts(SIBS)
+	plain, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Verify = true
+	verified, err := Run(o)
+	if err != nil {
+		t.Fatalf("verified run failed: %v", err)
+	}
+	if verified.Makespan != plain.Makespan || verified.BurstRatio != plain.BurstRatio {
+		t.Fatalf("verify changed the run: %v/%v vs %v/%v",
+			verified.Makespan, verified.BurstRatio, plain.Makespan, plain.BurstRatio)
+	}
+	// Verify composes with Audit and fault injection.
+	o.Audit = true
+	o.Faults = &FaultOptions{ECRevocationMTBF: 400}
+	if _, err := Run(o); err != nil {
+		t.Fatalf("verified faulty run failed: %v", err)
+	}
+	// Compare gives each run its own checker.
+	o.Audit = false
+	if _, err := Compare(o, Greedy, SIBS); err != nil {
+		t.Fatalf("verified compare failed: %v", err)
+	}
+}
+
 func TestRunAllSchedulers(t *testing.T) {
 	for _, s := range Schedulers() {
 		r, err := Run(fastOpts(s))

@@ -40,6 +40,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "stream the run's event trace to this file as JSON lines")
 		chromeOut = flag.String("chrome-trace", "", "write the run's timeline to this file in Chrome trace-event format (open in chrome://tracing)")
 		audit     = flag.Bool("audit", false, "replay the event trace through the independent SLA auditor and print its summary")
+		verify    = flag.Bool("verify", false, "audit every event against the runtime invariant checker; fail on any violation (~2x slower)")
 
 		ecRevokeMTBF = flag.Float64("ec-revoke-mtbf", 0, "revoke EC machines permanently with this mean time between (seconds, 0 = off)")
 		ecRevokeWarn = flag.Float64("ec-revoke-warn", 0, "advance warning before each EC revocation (seconds)")
@@ -89,6 +90,8 @@ func main() {
 			Seed:                 *faultSeed,
 		}
 	}
+
+	opts.Verify = *verify
 
 	if *compare {
 		if *traceOut != "" || *chromeOut != "" || *audit {

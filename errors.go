@@ -1,6 +1,10 @@
 package cloudburst
 
-import "fmt"
+import (
+	"fmt"
+
+	"cloudburst/internal/invariant"
+)
 
 // OptionError reports a single Options field whose value lies outside its
 // meaningful domain. Every validation failure returned by Run, RunContext,
@@ -31,4 +35,44 @@ func optErr(field string, value any, reason string, args ...any) *OptionError {
 		reason = fmt.Sprintf(reason, args...)
 	}
 	return &OptionError{Field: field, Value: value, Reason: reason}
+}
+
+// Violation is one structural invariant the runtime checker found broken
+// during a verified run (Options.Verify).
+type Violation struct {
+	Invariant string  // short invariant name, e.g. "bytes-conserved"
+	T         float64 // virtual time of the offending event
+	JobID     int     // offending job, or -1
+	Detail    string
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at t=%.3f job %d: %s", v.Invariant, v.T, v.JobID, v.Detail)
+}
+
+// VerifyError is returned by Run and RunContext when Options.Verify is set
+// and the runtime invariant checker detected violations. Violations holds
+// the first detections in order (capped); Total counts every violation,
+// including those past the cap.
+type VerifyError struct {
+	Violations []Violation
+	Total      int
+}
+
+func toViolations(vs []invariant.Violation) []Violation {
+	out := make([]Violation, len(vs))
+	for i, v := range vs {
+		out[i] = Violation{Invariant: v.Invariant, T: v.T, JobID: v.JobID, Detail: v.Detail}
+	}
+	return out
+}
+
+// Error summarizes the first violation and the total count.
+func (e *VerifyError) Error() string {
+	if len(e.Violations) == 0 {
+		return "cloudburst: verification failed"
+	}
+	return fmt.Sprintf("cloudburst: %d invariant violation(s), first: %s",
+		e.Total, e.Violations[0])
 }

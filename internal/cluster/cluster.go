@@ -107,7 +107,7 @@ type Cluster struct {
 	createdAt    float64
 	completed    int
 	peakMachines int
-	revoked      int // machines permanently lost to fault injection
+	revoked      int          // machines permanently lost to fault injection
 	doneCb       sim.Callback // prebound task-completion callback
 	// OnIdle fires whenever the cluster transitions to fully idle (no
 	// running or queued tasks); the rescheduling strategies hook it.

@@ -89,6 +89,13 @@ type Config struct {
 	// Tracer disables tracing with zero hot-path cost.
 	Tracer trace.Tracer
 
+	// Reference runs the simulation on the naive reference structures
+	// (sim.NewReference event core, no QRSM estimate memoization) instead
+	// of the optimized ones. Trajectories are bit-identical by
+	// construction; the mode exists so internal/refsim can cross-check the
+	// optimized paths. Slow — not for production runs.
+	Reference bool
+
 	// OnBatch, when set, receives a trace record after each scheduling
 	// round — the observable state the scheduler saw and what it decided.
 	OnBatch func(BatchTrace)
@@ -385,6 +392,11 @@ type estEntry struct {
 // model state, so the cache is exact: it returns bit-identical values to
 // calling the estimator directly.
 func (e *Engine) estimateJob(j *job.Job) float64 {
+	if e.cfg.Reference {
+		// Reference mode bypasses the cache so the differential harness
+		// exercises the estimator directly on every call.
+		return e.estimator.Estimate(j.Features)
+	}
 	id := j.ID
 	ver := e.estimator.Version() + 1
 	if id >= 0 && id < len(e.estCache) {

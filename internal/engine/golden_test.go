@@ -183,6 +183,24 @@ func relDiff(a, b float64) float64 {
 	return d / den
 }
 
+// TestReferenceModeBitIdentical pins the reference-mode guarantee at the
+// engine level: Config.Reference swaps in the naive event core and disables
+// the estimate cache, and the resulting run must be indistinguishable from
+// the optimized engine — identical metrics, byte counters, completion sums,
+// and discrete trace sequence, not merely within tolerance.
+func TestReferenceModeBitIdentical(t *testing.T) {
+	for _, gc := range goldenCases() {
+		fast := runGolden(t, gc)
+		refCase := gc
+		refCase.cfg.Reference = true
+		ref := runGolden(t, refCase)
+		if fast != ref {
+			t.Errorf("%s: reference run diverged from optimized:\n  fast %+v\n  ref  %+v",
+				gc.name, fast, ref)
+		}
+	}
+}
+
 func TestGoldenDeterminism(t *testing.T) {
 	cases := goldenCases()
 	got := make([]goldenRun, 0, len(cases))

@@ -47,11 +47,15 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 		}
 		cfg.Faults = &ff
 	}
+	eng := sim.NewEngine()
+	if cfg.Reference {
+		eng = sim.NewReference()
+	}
 	e := &Engine{
 		cfg:     cfg,
 		sched:   s,
 		tracer:  cfg.Tracer,
-		eng:     sim.NewEngine(),
+		eng:     eng,
 		records: sla.NewSet(),
 	}
 	e.onBatchCb = func(now float64, arg any) { e.onBatch(*arg.(*workload.Batch)) }
@@ -70,7 +74,8 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 			Type: trace.RunConfigured, T: e.eng.Now(),
 			ICMachines: cfg.ICMachines, ECMachines: cfg.ECMachines,
 			ECSpeed: cfg.ECSpeed, Autoscale: cfg.Autoscale != nil,
-			Scheduler: s.Name(),
+			Scheduler:     s.Name(),
+			LinkBWCeiling: maxThreadLimit(cfg.ThreadModel),
 		})
 	}
 	if hook != nil {
@@ -163,7 +168,7 @@ func (e *Engine) build() {
 	e.downTuner = netsim.NewTuner(cfg.ThreadModel, 8)
 
 	upMeasure := func(at, pathBW float64) { e.upPred.Observe(at, pathBW) }
-	if _, isSIBS := e.sched.(*sched.SIBS); isSIBS {
+	if _, isSIBS := e.sched.(sched.BoundsPublisher); isSIBS {
 		su := netsim.NewSplitUploader(e.eng, e.uplink, e.upTuner,
 			job.Bytes(50), job.Bytes(150))
 		su.Small.OnMeasure = upMeasure
@@ -328,7 +333,7 @@ func (e *Engine) onBatch(b workload.Batch) {
 	}
 
 	// SIBS publishes new size-interval bounds per batch.
-	if sb, ok := e.sched.(*sched.SIBS); ok {
+	if sb, ok := e.sched.(sched.BoundsPublisher); ok {
 		if sBound, mBound, valid := sb.Bounds(); valid {
 			e.upQ.SetBounds(sBound, mBound)
 		}
@@ -488,6 +493,23 @@ func (e *Engine) observeProc(j *job.Job, wallSeconds, speed float64) {
 	e.estimator.Observe(j.Features, wallSeconds*speed)
 }
 
+// maxThreadLimit returns the highest per-transfer bandwidth the thread
+// model permits at any thread count — the ceiling advertised to invariant
+// checkers via RunConfigured.
+func maxThreadLimit(tm netsim.ThreadModel) float64 {
+	max := tm.MaxThread
+	if max <= 0 {
+		max = 64
+	}
+	best := 0.0
+	for n := 1; n <= max; n++ {
+		if l := tm.Limit(n); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
 // complete lands a finished output in the result queue.
 func (e *Engine) complete(js *jobState, at float64, where sla.Where) {
 	if js.done {
@@ -495,7 +517,7 @@ func (e *Engine) complete(js *jobState, at float64, where sla.Where) {
 	}
 	js.done = true
 	e.completed++
-	e.records.Add(sla.Record{
+	e.records.MustAdd(sla.Record{
 		Seq:         js.seq,
 		JobID:       js.j.ID,
 		BatchID:     js.j.BatchID,

@@ -1,0 +1,169 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"cloudburst/internal/invariant"
+	"cloudburst/internal/trace"
+)
+
+// feed pushes events through a fresh checker and returns the violations.
+func feed(evs ...trace.Event) []invariant.Violation {
+	c := invariant.New()
+	for _, ev := range evs {
+		c.Emit(ev)
+	}
+	return c.Finish()
+}
+
+// one asserts exactly one violation of the given invariant was detected.
+func one(t *testing.T, vs []invariant.Violation, inv string) invariant.Violation {
+	t.Helper()
+	if len(vs) != 1 {
+		t.Fatalf("want exactly one violation, got %d: %v", len(vs), vs)
+	}
+	if vs[0].Invariant != inv {
+		t.Fatalf("violation = %q, want %q: %v", vs[0].Invariant, inv, vs[0])
+	}
+	return vs[0]
+}
+
+// arrivedPlacedDelivered is a minimal clean single-job stream.
+func cleanJob() []trace.Event {
+	return []trace.Event{
+		{Type: trace.RunConfigured, T: 0, LinkBWCeiling: 1000},
+		{Type: trace.JobArrived, T: 0, JobID: 1, Seq: -1, Arrival: 0, Bytes: 500, OutputBytes: 200},
+		{Type: trace.PlacementDecided, T: 1, JobID: 1, Seq: 0, Where: "EC",
+			Gated: true, EstEC: 5, Threshold: 10, Bytes: 500, OutputBytes: 200},
+		{Type: trace.UploadStart, T: 1, JobID: 1, Link: "upload"},
+		{Type: trace.UploadEnd, T: 2, JobID: 1, Link: "upload", Bytes: 500, BW: 500},
+		{Type: trace.ComputeStart, T: 2, JobID: 1, Cluster: "ec", Machine: 0},
+		{Type: trace.ComputeEnd, T: 5, JobID: 1, Cluster: "ec", Machine: 0},
+		{Type: trace.DownloadStart, T: 5, JobID: 1, Link: "download"},
+		{Type: trace.DownloadEnd, T: 6, JobID: 1, Link: "download", Bytes: 200, BW: 200},
+		{Type: trace.JobDelivered, T: 6, JobID: 1, Seq: 0, Where: "EC", OutputBytes: 200},
+	}
+}
+
+func TestCleanStreamPasses(t *testing.T) {
+	if vs := feed(cleanJob()...); len(vs) != 0 {
+		t.Fatalf("clean stream reported violations: %v", vs)
+	}
+}
+
+func TestCatchesClockGoingBackwards(t *testing.T) {
+	evs := cleanJob()
+	evs[4].T = 0.5 // UploadEnd before the placement that preceded it
+	vs := feed(evs...)
+	if len(vs) == 0 || vs[0].Invariant != "monotonic-clock" {
+		t.Fatalf("backwards clock not caught: %v", vs)
+	}
+}
+
+func TestOutageEventsExemptFromClock(t *testing.T) {
+	evs := append(cleanJob(),
+		trace.Event{Type: trace.OutageStart, T: 3, Link: "uplink"}, // late detection
+		trace.Event{Type: trace.OutageEnd, T: 4, Link: "uplink"},
+	)
+	if vs := feed(evs...); len(vs) != 0 {
+		t.Fatalf("lazy outage detection flagged: %v", vs)
+	}
+}
+
+func TestCatchesDoubleDelivery(t *testing.T) {
+	evs := append(cleanJob(),
+		trace.Event{Type: trace.JobDelivered, T: 7, JobID: 1, Seq: 0, OutputBytes: 200})
+	one(t, feed(evs...), "job-lifecycle")
+}
+
+func TestCatchesLostJob(t *testing.T) {
+	evs := cleanJob()[:len(cleanJob())-1] // drop the delivery
+	v := one(t, feed(evs...), "job-lifecycle")
+	if v.JobID != 1 {
+		t.Fatalf("wrong job flagged: %v", v)
+	}
+}
+
+func TestCatchesDeliveryWithoutPlacement(t *testing.T) {
+	vs := feed(
+		trace.Event{Type: trace.JobArrived, T: 0, JobID: 1, Bytes: 10, OutputBytes: 5},
+		trace.Event{Type: trace.JobDelivered, T: 1, JobID: 1, Seq: 0, OutputBytes: 5},
+	)
+	one(t, vs, "job-lifecycle")
+}
+
+func TestCatchesUploadByteLoss(t *testing.T) {
+	evs := cleanJob()
+	evs[4].Bytes = 499 // one byte short
+	one(t, feed(evs...), "bytes-conserved")
+}
+
+func TestCatchesDeliveredOutputMismatch(t *testing.T) {
+	evs := cleanJob()
+	evs[9].OutputBytes = 100
+	one(t, feed(evs...), "bytes-conserved")
+}
+
+func TestCatchesBWOverCeiling(t *testing.T) {
+	evs := cleanJob()
+	evs[4].BW = 1500 // ceiling is 1000
+	one(t, feed(evs...), "bw-ceiling")
+}
+
+func TestCatchesSlackViolationAtPlacement(t *testing.T) {
+	evs := cleanJob()
+	evs[2].EstEC = 20 // bursted with estEC 20 > threshold 10
+	one(t, feed(evs...), "slack-admission")
+}
+
+func TestCatchesSlackViolationOnRetry(t *testing.T) {
+	evs := append(cleanJob(),
+		trace.Event{Type: trace.JobRetried, T: 6, JobID: 2, From: "EC", To: "EC",
+			Gated: true, EstEC: 50, Threshold: 10})
+	one(t, feed(evs...), "slack-admission")
+}
+
+func TestCatchesMachineDoubleBooking(t *testing.T) {
+	evs := cleanJob()
+	extra := trace.Event{Type: trace.ComputeStart, T: 3, JobID: 9, Cluster: "ec", Machine: 0}
+	evs = append(evs[:6], append([]trace.Event{evs[5], extra}, evs[6:]...)...)
+	vs := feed(evs...)
+	found := false
+	for _, v := range vs {
+		if v.Invariant == "machine-exclusive" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("double booking not caught: %v", vs)
+	}
+}
+
+func TestCatchesChunkSumMismatch(t *testing.T) {
+	vs := feed(
+		trace.Event{Type: trace.JobArrived, T: 0, JobID: 1, Bytes: 1000, OutputBytes: 400},
+		trace.Event{Type: trace.Chunked, T: 1, JobID: 2, Parent: 1},
+		trace.Event{Type: trace.Chunked, T: 1, JobID: 3, Parent: 1},
+		trace.Event{Type: trace.PlacementDecided, T: 1, JobID: 2, Seq: 0, Where: "IC",
+			Bytes: 500, OutputBytes: 200, Arrival: 0},
+		// Second chunk claims 400 input bytes: 100 bytes vanished.
+		trace.Event{Type: trace.PlacementDecided, T: 1, JobID: 3, Seq: 1, Where: "IC",
+			Bytes: 400, OutputBytes: 200, Arrival: 0},
+		trace.Event{Type: trace.JobDelivered, T: 2, JobID: 2, Seq: 0, OutputBytes: 200},
+		trace.Event{Type: trace.JobDelivered, T: 3, JobID: 3, Seq: 1, OutputBytes: 200},
+	)
+	one(t, vs, "bytes-conserved")
+}
+
+func TestTotalCountsPastKeptLimit(t *testing.T) {
+	c := invariant.New()
+	for i := 0; i < 100; i++ {
+		// Every event re-delivers an unplaced job: two violations each
+		// after the first.
+		c.Emit(trace.Event{Type: trace.JobDelivered, T: float64(i), JobID: 1, Seq: 0})
+	}
+	c.Finish()
+	if c.Total() <= 64 {
+		t.Fatalf("Total = %d, want > kept limit", c.Total())
+	}
+}

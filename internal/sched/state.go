@@ -160,6 +160,18 @@ type Scheduler interface {
 	Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision
 }
 
+// BoundsPublisher is implemented by schedulers that partition bursted jobs
+// into size intervals (SIBS and its reference twin). After each Schedule
+// call, Bounds reports the small/medium split points; ok is false until the
+// first batch with candidates has been seen. The engine feeds the bounds to
+// the size-split upload queues. Detecting the capability through this
+// interface rather than a concrete type keeps alternative implementations
+// (internal/refsim's naive SIBS) on the identical engine path.
+type BoundsPublisher interface {
+	Scheduler
+	Bounds() (sBound, mBound int64, ok bool)
+}
+
 // fheap is a binary min-heap of free-time horizons. The scheduling loops
 // only ever need the earliest slot and only ever mutate that slot (book
 // work onto whichever machine or channel frees first), so the heap keeps

@@ -81,10 +81,13 @@ func (t Timer) Active() bool {
 type Engine struct {
 	now     float64
 	seq     uint64
-	events  []*Event // binary heap on (at, seq)
-	free    []*Event // recycled pooled nodes
+	events  []*Event // binary heap on (at, seq); unordered in reference mode
+	free    []*Event // recycled pooled nodes; unused in reference mode
 	stopped bool
 	fired   uint64
+	// reference selects the naive structures (linear-scan min, fresh
+	// allocation per pooled event, no bulk heapify) — see NewReference.
+	reference bool
 }
 
 // NewEngine returns an engine with the clock at time zero and no pending
@@ -189,6 +192,9 @@ func (e *Engine) ScheduleBulk(ats []float64, cb Callback, args []any) {
 		ev.index = int32(len(e.events))
 		e.events = append(e.events, ev)
 	}
+	if e.reference {
+		return
+	}
 	// Bottom-up heapify restores the invariant in O(n) even when events
 	// were already pending.
 	for i := len(e.events)/2 - 1; i >= 0; i-- {
@@ -287,10 +293,13 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) peek() *Event {
 	for len(e.events) > 0 {
 		ev := e.events[0]
+		if e.reference {
+			ev = e.events[e.minIndex()]
+		}
 		if !ev.canceled {
 			return ev
 		}
-		e.pop()
+		e.pop() // removes exactly ev: the minimum by (at, seq) in both modes
 		if ev.pooled {
 			e.put(ev)
 		}
@@ -310,7 +319,7 @@ func (e *Engine) NextEventTime() (float64, bool) {
 
 // --- free list ---
 
-// get returns a cleared pooled node.
+// get returns a cleared pooled node. Reference mode always allocates fresh.
 func (e *Engine) get() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -322,12 +331,16 @@ func (e *Engine) get() *Event {
 }
 
 // put recycles a pooled node, bumping its generation so stale Timer handles
-// cannot touch its next incarnation.
+// cannot touch its next incarnation. Reference mode only retires the node
+// (generation bump, field clear) without returning it to the free list.
 func (e *Engine) put(ev *Event) {
 	ev.gen++
 	ev.fn, ev.cb, ev.arg = nil, nil, nil
 	ev.canceled = false
 	ev.index = -1
+	if e.reference {
+		return
+	}
 	e.free = append(e.free, ev)
 }
 
@@ -350,10 +363,23 @@ func (e *Engine) swap(i, j int) {
 func (e *Engine) push(ev *Event) {
 	ev.index = int32(len(e.events))
 	e.events = append(e.events, ev)
+	if e.reference {
+		return
+	}
 	e.up(len(e.events) - 1)
 }
 
 func (e *Engine) pop() *Event {
+	if e.reference {
+		i := e.minIndex()
+		ev := e.events[i]
+		n := len(e.events) - 1
+		e.swap(i, n)
+		e.events[n] = nil
+		e.events = e.events[:n]
+		ev.index = -1
+		return ev
+	}
 	ev := e.events[0]
 	n := len(e.events) - 1
 	e.swap(0, n)
@@ -366,7 +392,8 @@ func (e *Engine) pop() *Event {
 	return ev
 }
 
-// remove deletes the event at heap position i.
+// remove deletes the event at position i (heap position, or slice position
+// in reference mode).
 func (e *Engine) remove(i int) {
 	n := len(e.events) - 1
 	ev := e.events[i]
@@ -374,7 +401,7 @@ func (e *Engine) remove(i int) {
 		e.swap(i, n)
 		e.events[n] = nil
 		e.events = e.events[:n]
-		if !e.down(i) {
+		if !e.reference && !e.down(i) {
 			e.up(i)
 		}
 	} else {

@@ -19,7 +19,7 @@ func (s *Set) OOAt(t float64, tol int) (mt int, ot int64) {
 	if tol < 0 {
 		panic(fmt.Sprintf("sla: negative tolerance %d", tol))
 	}
-	recs := s.Records() // sorted by Seq
+	recs := s.sortedRecords() // sorted by Seq; shared cache, read-only
 	mt = -1
 	completedUpTo := 0 // |J_it|: completed records with Seq ≤ current
 	// Walk in Seq order, counting completions; a record completed by t at
@@ -82,7 +82,7 @@ func (s *Set) OOSeries(interval float64, tol int, name string) *stats.TimeSeries
 // (valley) means the output was ready early. This is the quantity plotted
 // per job in the paper's Figs. 7–8.
 func (s *Set) InOrderWaitSeries(name string) *stats.TimeSeries {
-	recs := s.Records()
+	recs := s.sortedRecords()
 	ts := &stats.TimeSeries{Name: name}
 	if len(recs) == 0 {
 		return ts
@@ -99,7 +99,7 @@ func (s *Set) InOrderWaitSeries(name string) *stats.TimeSeries {
 
 // CompletionSeries returns completion time by sequence position.
 func (s *Set) CompletionSeries(name string) *stats.TimeSeries {
-	recs := s.Records()
+	recs := s.sortedRecords()
 	ts := &stats.TimeSeries{Name: name}
 	for _, r := range recs {
 		ts.Append(float64(r.Seq), r.CompletedAt)

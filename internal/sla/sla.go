@@ -46,6 +46,12 @@ type Record struct {
 type Set struct {
 	records []Record
 	seen    map[int]struct{}
+	// sorted caches the records ordered by Seq. The OO metric evaluates the
+	// sorted view once per sample point on a fine grid, so rebuilding (copy +
+	// sort) per evaluation dominated OOSeries; the cache is invalidated by
+	// Add and rebuilt at most once per mutation.
+	sorted []Record
+	dirty  bool
 }
 
 // NewSet returns an empty record set.
@@ -53,30 +59,68 @@ func NewSet() *Set {
 	return &Set{seen: make(map[int]struct{})}
 }
 
-// Add records a completion. Duplicate sequence numbers panic — every queue
-// slot completes exactly once.
-func (s *Set) Add(r Record) {
+// RecordError reports a malformed completion record rejected by Add. It
+// follows the library's *OptionError convention: callers branch on the
+// offending field programmatically instead of parsing the message.
+type RecordError struct {
+	Seq    int    // the record's sequence position
+	Field  string // offending Record field, e.g. "Seq" or "CompletedAt"
+	Value  any    // the rejected value
+	Reason string // why the value was rejected
+}
+
+// Error renders the conventional sla-prefixed message.
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("sla: record seq %d: %s %v %s", e.Seq, e.Field, e.Value, e.Reason)
+}
+
+// Add records a completion. Malformed records — negative sequence,
+// duplicate sequence (every queue slot completes exactly once), or a
+// completion stamped before its arrival — are rejected with a typed
+// *RecordError and leave the set unchanged.
+func (s *Set) Add(r Record) error {
 	if r.Seq < 0 {
-		panic(fmt.Sprintf("sla: negative seq %d", r.Seq))
+		return &RecordError{Seq: r.Seq, Field: "Seq", Value: r.Seq, Reason: "must not be negative"}
 	}
 	if _, dup := s.seen[r.Seq]; dup {
-		panic(fmt.Sprintf("sla: duplicate completion for seq %d", r.Seq))
+		return &RecordError{Seq: r.Seq, Field: "Seq", Value: r.Seq, Reason: "already completed (duplicate sequence)"}
 	}
 	if r.CompletedAt < r.ArrivalTime {
-		panic(fmt.Sprintf("sla: seq %d completed at %v before arrival %v", r.Seq, r.CompletedAt, r.ArrivalTime))
+		return &RecordError{Seq: r.Seq, Field: "CompletedAt", Value: r.CompletedAt,
+			Reason: fmt.Sprintf("precedes arrival %v", r.ArrivalTime)}
 	}
 	s.records = append(s.records, r)
 	s.seen[r.Seq] = struct{}{}
+	s.dirty = true
+	return nil
+}
+
+// MustAdd is Add for callers whose records are correct by construction (the
+// engine's result queue): a malformed record is a bug, so it panics.
+func (s *Set) MustAdd(r Record) {
+	if err := s.Add(r); err != nil {
+		panic(err.Error())
+	}
 }
 
 // Len returns the number of records.
 func (s *Set) Len() int { return len(s.records) }
 
+// sortedRecords returns the records ordered by Seq, rebuilding the cache
+// only after a mutation. The returned slice is shared — callers must not
+// modify it (Records hands out copies).
+func (s *Set) sortedRecords() []Record {
+	if s.dirty || (s.sorted == nil && len(s.records) > 0) {
+		s.sorted = append(s.sorted[:0], s.records...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].Seq < s.sorted[j].Seq })
+		s.dirty = false
+	}
+	return s.sorted
+}
+
 // Records returns a copy of the records sorted by Seq.
 func (s *Set) Records() []Record {
-	out := append([]Record(nil), s.records...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out
+	return append([]Record(nil), s.sortedRecords()...)
 }
 
 // Makespan is eq. (7): the latest completion minus the earliest arrival.
@@ -103,7 +147,7 @@ func (s *Set) Makespan() float64 {
 // "speedup measures how fast the jobs completed"; we follow the prose.)
 func (s *Set) Speedup(tseq float64) float64 {
 	c := s.Makespan()
-	if c <= 0 {
+	if c <= 0 || tseq <= 0 {
 		return 0
 	}
 	return tseq / c

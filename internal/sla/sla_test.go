@@ -1,6 +1,7 @@
 package sla
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -69,21 +70,48 @@ func TestBatchBurstRatios(t *testing.T) {
 
 func TestAddValidation(t *testing.T) {
 	s := NewSet()
-	s.Add(rec(0, 0, 1, 1, IC))
-	for _, f := range []func(){
-		func() { s.Add(rec(0, 0, 2, 1, IC)) },  // duplicate seq
-		func() { s.Add(rec(-1, 0, 1, 1, IC)) }, // negative seq
-		func() { s.Add(rec(5, 10, 5, 1, IC)) }, // completes before arrival
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("invalid record did not panic")
-				}
-			}()
-			f()
-		}()
+	if err := s.Add(rec(0, 0, 1, 1, IC)); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
 	}
+	cases := []struct {
+		r     Record
+		field string
+	}{
+		{rec(0, 0, 2, 1, IC), "Seq"},          // duplicate seq
+		{rec(-1, 0, 1, 1, IC), "Seq"},         // negative seq
+		{rec(5, 10, 5, 1, IC), "CompletedAt"}, // completes before arrival
+	}
+	for _, c := range cases {
+		err := s.Add(c.r)
+		if err == nil {
+			t.Fatalf("invalid record %+v accepted", c.r)
+		}
+		var re *RecordError
+		if !errors.As(err, &re) {
+			t.Fatalf("error %v is not a *RecordError", err)
+		}
+		if re.Field != c.field {
+			t.Fatalf("RecordError.Field = %q, want %q (%v)", re.Field, c.field, err)
+		}
+		if re.Error() == "" || re.Error()[:4] != "sla:" {
+			t.Fatalf("error message %q lacks sla: prefix", re.Error())
+		}
+	}
+	// Rejected records must leave the set unchanged.
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after rejected adds, want 1", s.Len())
+	}
+}
+
+func TestMustAddPanicsOnInvalid(t *testing.T) {
+	s := NewSet()
+	s.MustAdd(rec(0, 0, 1, 1, IC))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd on a duplicate seq did not panic")
+		}
+	}()
+	s.MustAdd(rec(0, 0, 2, 1, IC))
 }
 
 func TestRecordsSortedBySeq(t *testing.T) {
@@ -308,5 +336,70 @@ func TestSingleRecordSeries(t *testing.T) {
 	}
 	if s.ValleyCount() != 0 {
 		t.Fatal("single record has no valleys")
+	}
+}
+
+func TestSpeedupNonPositiveTSeq(t *testing.T) {
+	s := NewSet()
+	s.Add(rec(0, 0, 100, 1, IC))
+	if got := s.Speedup(0); got != 0 {
+		t.Fatalf("Speedup(0) = %v, want 0", got)
+	}
+	if got := s.Speedup(-50); got != 0 {
+		t.Fatalf("Speedup(-50) = %v, want 0", got)
+	}
+}
+
+func TestOOAtExactToleranceBoundary(t *testing.T) {
+	// With tol=1 and seq0 still missing, seq1 sits exactly on the boundary
+	// (seq+1)−tol == completedUpTo: (1+1)−1 = 1 == 1 completed. The ≤
+	// constraint must admit it.
+	s := NewSet()
+	s.Add(rec(0, 0, 100, 10, IC)) // completes late
+	s.Add(rec(1, 0, 5, 10, IC))
+	if m, o := s.OOAt(10, 1); m != 1 || o != 10 {
+		t.Fatalf("boundary OOAt = %d,%d want 1,10", m, o)
+	}
+	// One notch past the boundary must not be consumable: seq1 with tol=0
+	// gives (1+1)−0 = 2 > 1 completed.
+	if m, _ := s.OOAt(10, 0); m != -1 {
+		t.Fatalf("past-boundary m = %d, want -1", m)
+	}
+}
+
+func TestBatchBurstRatiosNeverBursting(t *testing.T) {
+	s := NewSet()
+	a := rec(0, 0, 1, 1, IC)
+	b := rec(1, 0, 2, 1, IC)
+	b.BatchID = 0
+	c := rec(2, 0, 3, 1, EC)
+	c.BatchID = 1
+	s.Add(a)
+	s.Add(b)
+	s.Add(c)
+	r := s.BatchBurstRatios()
+	if got, ok := r[0]; !ok || got != 0 {
+		t.Fatalf("never-bursting batch ratio = %v (present=%v), want exactly 0", got, ok)
+	}
+	if r[1] != 1 {
+		t.Fatalf("batch 1 ratio = %v, want 1", r[1])
+	}
+}
+
+// TestOOAtAllocFree pins the satellite fix: OOAt must reuse the sorted cache
+// rather than re-copying and re-sorting the record set per evaluation, so a
+// warm evaluation performs zero allocations. OOSeries calls OOAt once per
+// grid point, so any per-call allocation regresses the whole series.
+func TestOOAtAllocFree(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 256; i++ {
+		s.Add(rec(i, 0, float64(100+((i*37)%256)), 10, IC))
+	}
+	s.OOAt(200, 2) // warm the sorted cache
+	allocs := testing.AllocsPerRun(50, func() {
+		s.OOAt(200, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("OOAt allocates %v objects per call after warm-up, want 0", allocs)
 	}
 }

@@ -206,6 +206,11 @@ type Event struct {
 	ECSpeed    float64 `json:"ecSpeed,omitempty"`
 	Autoscale  bool    `json:"autoscale,omitempty"`
 	Scheduler  string  `json:"scheduler,omitempty"`
+	// LinkBWCeiling is the highest per-transfer bandwidth the run's thread
+	// model allows at any thread count (max over n of limit(n)); 0 when the
+	// emitter predates the field. Invariant checkers bound every observed
+	// transfer bandwidth by it.
+	LinkBWCeiling float64 `json:"linkBWCeiling,omitempty"`
 }
 
 // Tracer receives the event stream. Implementations must not retain
