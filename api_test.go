@@ -53,27 +53,49 @@ func TestOptionErrorOnUnknownNames(t *testing.T) {
 }
 
 func TestNormalizeIdempotentAndEquivalent(t *testing.T) {
-	o := fastOpts(OrderPreserving)
-	n := o.Normalize()
-	if !reflect.DeepEqual(n, n.Normalize()) {
-		t.Fatal("Normalize is not idempotent")
+	withFaults := func(o Options) Options {
+		o.Faults = &FaultOptions{ECRevocationMTBF: 400, ICCrashMTBF: 600, ICCrashMTTR: 300}
+		return o
 	}
-	if n.Batches != o.Batches || n.ICMachines != 8 || n.ECMachines != 2 ||
-		n.JitterCV != 0.15 || n.DiurnalAmplitude != 0.3 {
-		t.Fatalf("unexpected defaults: %+v", n)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"fast op", fastOpts(OrderPreserving)},
+		{"fast sibs with faults", withFaults(fastOpts(SIBS))},
+		{"paper testbed with faults", withFaults(PaperTestbed())},
+		{"high variance with faults", withFaults(HighVariance())},
 	}
-	// Normalizing must not change behaviour: the explicit-default run is the
-	// same simulation as the zero-default run.
-	r1, err := Run(o)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r2, err := Run(n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r1.String() != r2.String() || r1.Makespan != r2.Makespan {
-		t.Fatalf("normalized run diverged:\n%s\n%s", r1, r2)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opts
+			n := o.Normalize()
+			if !reflect.DeepEqual(n, n.Normalize()) {
+				t.Fatal("Normalize is not idempotent")
+			}
+			if n.ICMachines != 8 || n.ECMachines != 2 || n.DiurnalAmplitude != 0.3 {
+				t.Fatalf("unexpected defaults: %+v", n)
+			}
+			if o.Faults != nil && (n.Faults == nil || n.Faults.MaxRetries == 0) {
+				t.Fatalf("fault options not normalized: %+v", n.Faults)
+			}
+			// Normalizing must not change behaviour: the explicit-default run
+			// is the same simulation as the zero-default run.
+			r1, err := Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.String() != r2.String() || r1.Makespan != r2.Makespan {
+				t.Fatalf("normalized run diverged:\n%s\n%s", r1, r2)
+			}
+			if o.Fingerprint() != n.Fingerprint() {
+				t.Fatal("fingerprint differs before and after Normalize")
+			}
+		})
 	}
 }
 

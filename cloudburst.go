@@ -35,6 +35,7 @@ import (
 	"cloudburst/internal/invariant"
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/sched"
+	"cloudburst/internal/sweep"
 	"cloudburst/internal/workload"
 )
 
@@ -467,6 +468,46 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 		}
 	}
 	return newReport(o, res, rec), nil
+}
+
+// Sweep expands the grid described by spec — schedulers × buckets × network
+// profiles × fault sets × replication seeds — and executes every cell
+// concurrently on a GOMAXPROCS-bounded worker pool, returning one result
+// per cell in deterministic grid order. Identical cells (equal normalized
+// configurations) are simulated once and shared; each cell's metrics are
+// bit-identical to running its CellOptions through Run serially.
+func Sweep(spec SweepSpec) ([]SweepResult, error) {
+	return SweepContext(context.Background(), spec, SweepConfig{})
+}
+
+// SweepContext is Sweep with cooperative cancellation and execution
+// controls: bounded workers, incremental JSONL/CSV sinks fed in cell order,
+// progress callbacks, and a crash-safe resume manifest (see SweepConfig).
+// When the context fires mid-sweep, completed cells are already journaled
+// in the manifest and ctx.Err() is returned; re-running the same sweep with
+// the same ManifestPath re-executes only the incomplete cells.
+func SweepContext(ctx context.Context, spec SweepSpec, cfg SweepConfig) ([]SweepResult, error) {
+	cells, err := planSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.RunCells(ctx, cells, sweep.Config{
+		Workers:      cfg.Workers,
+		JSONL:        cfg.JSONL,
+		CSV:          cfg.CSV,
+		ManifestPath: cfg.ManifestPath,
+		Progress:     cfg.Progress,
+	}, func(ctx context.Context, c sweep.Cell) (sweep.Metrics, error) {
+		o, err := CellOptions(spec, c)
+		if err != nil {
+			return sweep.Metrics{}, err
+		}
+		r, err := RunContext(ctx, o)
+		if err != nil {
+			return sweep.Metrics{}, err
+		}
+		return sweepMetrics(r), nil
+	})
 }
 
 // Compare runs the same workload and network under several schedulers and

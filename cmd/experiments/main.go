@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"cloudburst/internal/experiments"
@@ -58,22 +59,36 @@ func main() {
 	}
 }
 
-func runOne(name string, seed int64) error {
-	single := map[string]func(int64) (*experiments.Table, error){
-		"fig3":      experiments.Figure3QRSM,
-		"fig4a":     experiments.Figure4aTimeOfDay,
-		"fig4b":     experiments.Figure4bThreads,
-		"fig6":      experiments.Figure6Makespan,
-		"fig7":      experiments.Figure7Completions,
-		"fig8":      experiments.Figure8LargeCompletions,
-		"fig9":      experiments.Figure9OOMetric,
-		"fig10":     experiments.Figure10RelativeOO,
-		"sibs":      experiments.SIBSOptimization,
-		"autoscale": experiments.ExtensionAutoscale,
-		"tickets":   experiments.ExtensionTickets,
-		"multiec":   experiments.ExtensionMultiEC,
+// singleDrivers maps every -only name with a single-table driver; table1
+// is handled separately because it prints one table per bucket.
+var singleDrivers = map[string]func(int64) (*experiments.Table, error){
+	"fig3":      experiments.Figure3QRSM,
+	"fig4a":     experiments.Figure4aTimeOfDay,
+	"fig4b":     experiments.Figure4bThreads,
+	"fig6":      experiments.Figure6Makespan,
+	"fig7":      experiments.Figure7Completions,
+	"fig8":      experiments.Figure8LargeCompletions,
+	"fig9":      experiments.Figure9OOMetric,
+	"fig10":     experiments.Figure10RelativeOO,
+	"sibs":      experiments.SIBSOptimization,
+	"autoscale": experiments.ExtensionAutoscale,
+	"tickets":   experiments.ExtensionTickets,
+	"multiec":   experiments.ExtensionMultiEC,
+}
+
+// driverNames returns every valid -only argument, sorted.
+func driverNames() []string {
+	names := make([]string, 0, len(singleDrivers)+1)
+	for name := range singleDrivers {
+		names = append(names, name)
 	}
-	if f, ok := single[name]; ok {
+	names = append(names, "table1")
+	sort.Strings(names)
+	return names
+}
+
+func runOne(name string, seed int64) error {
+	if f, ok := singleDrivers[name]; ok {
 		t, err := f(seed)
 		if err != nil {
 			return err
@@ -91,7 +106,7 @@ func runOne(name string, seed int64) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("unknown driver %q", name)
+	return fmt.Errorf("unknown driver %q (valid drivers: %s)", name, strings.Join(driverNames(), ", "))
 }
 
 func fatal(err error) {

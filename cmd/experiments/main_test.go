@@ -1,0 +1,56 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRunOneUnknownDriverListsValidNames(t *testing.T) {
+	err := runOne("fig99", 1)
+	if err == nil {
+		t.Fatal("unknown driver accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"fig99"`) {
+		t.Fatalf("error does not name the bad driver: %q", msg)
+	}
+	// Every valid name — including the multi-table table1 special case —
+	// must appear in the message so the user can self-correct.
+	for _, name := range driverNames() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error omits valid driver %q: %q", name, msg)
+		}
+	}
+}
+
+func TestDriverNamesSortedAndComplete(t *testing.T) {
+	names := driverNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("driver names unsorted: %v", names)
+	}
+	if len(names) != len(singleDrivers)+1 {
+		t.Fatalf("driverNames returned %d names, want %d", len(names), len(singleDrivers)+1)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate driver name %q", n)
+		}
+		seen[n] = true
+	}
+	for name := range singleDrivers {
+		if !seen[name] {
+			t.Fatalf("driverNames omits %q", name)
+		}
+	}
+	if !seen["table1"] {
+		t.Fatal("driverNames omits table1")
+	}
+}
+
+func TestRunOneKnownDriver(t *testing.T) {
+	if err := runOne("fig3", 1); err != nil {
+		t.Fatalf("fig3 driver failed: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+// Command sweep expands a parameter grid — schedulers × buckets × network
+// profiles × fault sets × replication seeds — and executes every cell
+// concurrently, streaming per-cell results to JSONL/CSV and keeping a
+// crash-safe resume manifest.
+//
+// Examples:
+//
+//	sweep -schedulers Greedy,Op,SIBS -buckets small,uniform,large -seeds 4
+//	sweep -spec grid.json -out results.jsonl -csv results.csv
+//	sweep -schedulers Op -profiles paper,highvar -seeds 8 -resume sweep.manifest
+//	sweep -schedulers Op,SIBS -faults ec-revoke -seeds 4 -agg
+//
+// Interrupting a sweep (Ctrl-C) leaves every completed cell in the resume
+// manifest; re-running the identical invocation with the same -resume path
+// re-executes only the incomplete cells and rewrites the output files in
+// full.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+
+	"cloudburst"
+)
+
+// profilePresets are the named network regimes selectable from the command
+// line; a spec file can define arbitrary ones.
+var profilePresets = map[string]cloudburst.SweepProfile{
+	"paper":   {Name: "paper"},
+	"highvar": {Name: "highvar", JitterCV: 0.5},
+	"outage":  {Name: "outage", OutageMTBF: 3000, OutageMeanDuration: 300, OutageThrottle: 0.2},
+}
+
+// faultPresets are the named fault regimes selectable from the command line.
+var faultPresets = map[string]cloudburst.SweepFaultSet{
+	"none":      {Name: "none"},
+	"ec-revoke": {Name: "ec-revoke", ECRevocationMTBF: 400, ECRevocationWarning: 30},
+	"ic-crash":  {Name: "ic-crash", ICCrashMTBF: 600, ICCrashMTTR: 300},
+	"stall":     {Name: "stall", TransferStallMTBF: 1200, TransferStallTimeout: 90},
+}
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "JSON grid specification file (grid flags are ignored when set)")
+
+		schedulers = flag.String("schedulers", "Op", "comma-separated schedulers: ICOnly, Greedy, GreedyTracking, Op, SIBS")
+		buckets    = flag.String("buckets", "uniform", "comma-separated buckets: small, uniform, large")
+		seeds      = flag.Int("seeds", 1, "number of replication seeds")
+		seedBase   = flag.Int64("seed-base", 1, "first replication seed")
+		profiles   = flag.String("profiles", "paper", "comma-separated network profiles: paper, highvar, outage")
+		faults     = flag.String("faults", "none", "comma-separated fault sets: none, ec-revoke, ic-crash, stall")
+		batches    = flag.Int("batches", 0, "arrival batches per run (0 = paper default 6)")
+		jobs       = flag.Float64("jobs", 0, "mean jobs per batch (0 = paper default 15)")
+		icM        = flag.Int("ic", 0, "IC machines (0 = paper default 8)")
+		ecM        = flag.Int("ec", 0, "EC machines (0 = paper default 2)")
+		margin     = flag.Float64("margin", 0, "slack safety margin tau (seconds)")
+		resched    = flag.Bool("resched", false, "enable rescheduling strategies (Sec. IV-D)")
+
+		out      = flag.String("out", "", "stream per-cell results to this file as JSON lines")
+		csvOut   = flag.String("csv", "", "stream per-cell results to this file as CSV")
+		resume   = flag.String("resume", "", "crash-safe manifest path: completed cells are journaled here and never re-run")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		agg      = flag.Bool("agg", false, "print a mean/stddev/min/max table grouped by scheduler/bucket")
+		quiet    = flag.Bool("q", false, "suppress the progress line")
+		printAll = flag.Bool("cells", false, "print each cell's headline metrics to stdout")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*specPath, specFlags{
+		schedulers: *schedulers, buckets: *buckets,
+		seeds: *seeds, seedBase: *seedBase,
+		profiles: *profiles, faults: *faults,
+		batches: *batches, jobs: *jobs, icM: *icM, ecM: *ecM,
+		margin: *margin, resched: *resched,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := cloudburst.SweepConfig{Workers: *workers, ManifestPath: *resume}
+	var closers []func() error
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		closers = append(closers, f.Close)
+		cfg.JSONL = f
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		closers = append(closers, f.Close)
+		cfg.CSV = f
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, err := cloudburst.SweepContext(ctx, *spec, cfg)
+	for _, c := range closers {
+		c()
+	}
+	if err != nil {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		fatal(err)
+	}
+
+	if *printAll {
+		for _, r := range results {
+			c, m := r.Cell, r.Metrics
+			fmt.Printf("%4d  %-14s %-8s %-8s %-10s seed %-4d  makespan %7.0fs  speedup %5.2f  burst %5.2f  [%s]\n",
+				c.Index, c.Scheduler, c.Bucket, c.Profile, c.Fault, c.Seed,
+				m.Makespan, m.Speedup, m.BurstRatio, r.Origin)
+		}
+	}
+	if *agg || (!*printAll && *out == "" && *csvOut == "") {
+		printAggregate(results)
+	}
+}
+
+// specFlags carries the grid flags into buildSpec.
+type specFlags struct {
+	schedulers, buckets, profiles, faults string
+	seeds                                 int
+	seedBase                              int64
+	batches                               int
+	jobs, margin                          float64
+	icM, ecM                              int
+	resched                               bool
+}
+
+// buildSpec loads the spec file, or assembles a spec from the grid flags.
+func buildSpec(path string, f specFlags) (*cloudburst.SweepSpec, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return cloudburst.ParseSweepSpec(data)
+	}
+	spec := cloudburst.SweepSpec{
+		Schedulers:       splitList(f.schedulers),
+		Buckets:          splitList(f.buckets),
+		SeedCount:        f.seeds,
+		BaseSeed:         f.seedBase,
+		Batches:          f.batches,
+		MeanJobsPerBatch: f.jobs,
+		ICMachines:       f.icM,
+		ECMachines:       f.ecM,
+		SlackMarginSec:   f.margin,
+		Rescheduling:     f.resched,
+	}
+	for _, name := range splitList(f.profiles) {
+		p, ok := profilePresets[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q (want %s)", name, strings.Join(presetNames(profilePresets), ", "))
+		}
+		spec.Profiles = append(spec.Profiles, p)
+	}
+	for _, name := range splitList(f.faults) {
+		fs, ok := faultPresets[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown fault set %q (want %s)", name, strings.Join(presetNames(faultPresets), ", "))
+		}
+		spec.Faults = append(spec.Faults, fs)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func presetNames[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// printAggregate renders the group-by table: one row per scheduler/bucket
+// with mean ± stddev and [min, max] for the headline metrics.
+func printAggregate(results []cloudburst.SweepResult) {
+	groups := cloudburst.AggregateSweep(results, func(c cloudburst.SweepCell) string {
+		return c.Scheduler + "/" + c.Bucket
+	})
+	fmt.Printf("%-24s %4s  %-22s %-14s %-14s %-14s\n",
+		"group", "n", "makespan_s", "speedup", "burst_ratio", "ec_util")
+	for _, g := range groups {
+		mk := g.Metric("makespan")
+		fmt.Printf("%-24s %4d  %8.0f ±%-6.0f%6s %6.2f ±%-5.2f %6.2f ±%-5.2f %6.2f ±%-5.2f\n",
+			g.Key, g.N,
+			mk.Mean, mk.Std, fmt.Sprintf("[%0.0f]", mk.Max-mk.Min),
+			g.Metric("speedup").Mean, g.Metric("speedup").Std,
+			g.Metric("burst_ratio").Mean, g.Metric("burst_ratio").Std,
+			g.Metric("ec_util").Mean, g.Metric("ec_util").Std)
+	}
+}
+
+func fatal(err error) {
+	// Library errors already carry a package prefix; avoid doubling it.
+	fmt.Fprintln(os.Stderr, "sweep:", strings.TrimPrefix(err.Error(), "sweep: "))
+	os.Exit(1)
+}

@@ -10,14 +10,12 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"cloudburst/internal/engine"
 	"cloudburst/internal/sched"
 	"cloudburst/internal/stats"
+	"cloudburst/internal/sweep"
 	"cloudburst/internal/workload"
 )
 
@@ -105,12 +103,11 @@ type RunSpec struct {
 
 // RunReplicated executes the spec once per replication — concurrently,
 // since every run owns its private simulation — and returns the results in
-// replication order. Workers are bounded by GOMAXPROCS: a replication list
-// far wider than the machine would otherwise stack up full simulation
-// footprints simultaneously for no extra throughput. Each run is seeded
-// independently, so results do not depend on worker interleaving; on
-// failure the lowest-index error is returned regardless of which worker
-// hit an error first.
+// replication order. Execution rides the sweep engine's GOMAXPROCS-bounded
+// worker pool: each run is seeded independently, so results do not depend
+// on worker interleaving, per-run panics are isolated into typed
+// *sweep.CellError values, and on failure the lowest-index error is
+// returned regardless of which worker hit an error first.
 func RunReplicated(spec RunSpec, reps []Replication) ([]*engine.Result, error) {
 	return RunReplicatedContext(context.Background(), spec, reps)
 }
@@ -119,44 +116,26 @@ func RunReplicated(spec RunSpec, reps []Replication) ([]*engine.Result, error) {
 // in-flight run stops at its next poll and ctx.Err() is returned. Workers
 // that have not started a replication when the context fires skip it.
 func RunReplicatedContext(ctx context.Context, spec RunSpec, reps []Replication) ([]*engine.Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	results := make([]*engine.Result, len(reps))
-	errs := make([]error, len(reps))
-	workers := min(runtime.GOMAXPROCS(0), len(reps))
-	if workers < 1 {
-		workers = 1
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reps) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				results[i], errs[i] = runOne(ctx, spec, reps[i])
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return sweep.Exec(ctx, replicationCells(reps), sweep.ExecConfig[*engine.Result]{},
+		func(ctx context.Context, c sweep.Cell) (*engine.Result, error) {
+			return runOne(ctx, spec, Replication{WorkloadSeed: c.WorkloadSeed, NetSeed: c.NetSeed})
+		})
+}
+
+// replicationCells adapts a replication list to sweep cells. Fingerprints
+// stay empty: replications are assumed distinct, and callers needing the
+// full engine.Result (series, records) have no metrics vector to dedup.
+func replicationCells(reps []Replication) []sweep.Cell {
+	cells := make([]sweep.Cell, len(reps))
+	for i, rep := range reps {
+		cells[i] = sweep.Cell{
+			Index:        i,
+			Seed:         rep.WorkloadSeed,
+			WorkloadSeed: rep.WorkloadSeed,
+			NetSeed:      rep.NetSeed,
 		}
 	}
-	return results, nil
+	return cells
 }
 
 // runOne executes a single replication.
@@ -176,6 +155,27 @@ func runOne(ctx context.Context, spec RunSpec, rep Replication) (*engine.Result,
 	}
 	res.Bucket = spec.Bucket.String()
 	return res, nil
+}
+
+// resultMetrics projects an engine result onto the sweep metrics vector
+// consumed by the aggregation layer.
+func resultMetrics(r *engine.Result) sweep.Metrics {
+	peaks, stall, _ := r.Records.PeakStats()
+	return sweep.Metrics{
+		Makespan:         r.Makespan,
+		Speedup:          r.Speedup,
+		BurstRatio:       r.BurstRatio,
+		ICUtil:           r.ICUtil,
+		ECUtil:           r.ECUtil,
+		TSeq:             r.TSeq,
+		Jobs:             r.Jobs,
+		Chunks:           r.ChunksCreated,
+		PeakCount:        peaks,
+		TotalStall:       stall,
+		ECMachineSeconds: r.ECMachineSeconds,
+		Retries:          r.Retries,
+		Fallbacks:        r.Fallbacks,
+	}
 }
 
 // meanOf applies f to each result and averages.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cloudburst/internal/engine"
@@ -9,6 +10,7 @@ import (
 	"cloudburst/internal/qrsm"
 	"cloudburst/internal/sim"
 	"cloudburst/internal/stats"
+	"cloudburst/internal/sweep"
 	"cloudburst/internal/workload"
 )
 
@@ -345,30 +347,71 @@ func Figure10RelativeOO(seed int64) (*Table, error) {
 	return t, nil
 }
 
-// SchedulerMetrics computes the Table I row set for one bucket.
+// SchedulerMetrics computes the Table I row set for one bucket. The full
+// scheduler × replication grid executes as one sweep — every cell
+// concurrent on the shared bounded pool — and the row means come from the
+// sweep aggregation layer rather than a per-scheduler replication loop.
 func SchedulerMetrics(bucket workload.Bucket, seed int64, schedNames []string) (*Table, error) {
-	reps := DefaultReplications(seed, 3)
+	groups, err := scheduleSweep(bucket, seed, schedNames, 3)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("Table I — performance metrics (%s bucket, mean of 3 runs)", bucket),
 		Header: []string{"scheduler", "IC-Util", "EC-Util", "Burst-ratio", "Speedup", "Makespan_s"},
 	}
-	for _, name := range schedNames {
-		rs, err := RunReplicated(RunSpec{
-			Bucket:    bucket,
-			Scheduler: schedulerFactories()[name],
-		}, reps)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name,
-			fmtF(100*meanOf(rs, func(r *engine.Result) float64 { return r.ICUtil }), 1),
-			fmtF(100*meanOf(rs, func(r *engine.Result) float64 { return r.ECUtil }), 1),
-			fmtF(meanOf(rs, func(r *engine.Result) float64 { return r.BurstRatio }), 2),
-			fmtF(meanOf(rs, func(r *engine.Result) float64 { return r.Speedup }), 2),
-			fmtF(meanOf(rs, func(r *engine.Result) float64 { return r.Makespan }), 0),
+	for _, g := range groups {
+		t.AddRow(g.Key,
+			fmtF(100*g.Metric("ic_util").Mean, 1),
+			fmtF(100*g.Metric("ec_util").Mean, 1),
+			fmtF(g.Metric("burst_ratio").Mean, 2),
+			fmtF(g.Metric("speedup").Mean, 2),
+			fmtF(g.Metric("makespan").Mean, 0),
 		)
 	}
 	return t, nil
+}
+
+// scheduleSweep runs the scheduler × replication grid for one bucket on the
+// sweep engine and aggregates the metrics by scheduler, preserving the
+// caller's scheduler order (cells expand scheduler-major, and aggregation
+// groups appear in first-appearance order).
+func scheduleSweep(bucket workload.Bucket, seed int64, schedNames []string, nReps int) ([]sweep.Group, error) {
+	reps := DefaultReplications(seed, nReps)
+	factories := schedulerFactories()
+	var cells []sweep.Cell
+	for _, name := range schedNames {
+		if factories[name] == nil {
+			return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+		}
+		for _, rep := range reps {
+			cells = append(cells, sweep.Cell{
+				Index:        len(cells),
+				Scheduler:    name,
+				Bucket:       bucket.String(),
+				Seed:         rep.WorkloadSeed,
+				WorkloadSeed: rep.WorkloadSeed,
+				NetSeed:      rep.NetSeed,
+			})
+		}
+	}
+	metrics, err := sweep.Exec(context.Background(), cells, sweep.ExecConfig[sweep.Metrics]{},
+		func(ctx context.Context, c sweep.Cell) (sweep.Metrics, error) {
+			res, err := runOne(ctx, RunSpec{Bucket: bucket, Scheduler: factories[c.Scheduler]},
+				Replication{WorkloadSeed: c.WorkloadSeed, NetSeed: c.NetSeed})
+			if err != nil {
+				return sweep.Metrics{}, err
+			}
+			return resultMetrics(res), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]sweep.Result, len(cells))
+	for i := range cells {
+		results[i] = sweep.Result{Cell: cells[i], Metrics: metrics[i]}
+	}
+	return sweep.Aggregate(results, sweep.GroupByScheduler), nil
 }
 
 // Table1Metrics reproduces Table I: IC-Util, EC-Util, Burst-ratio, Speedup

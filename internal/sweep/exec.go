@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Origin records how a cell's value was obtained.
+type Origin int
+
+// The three ways a cell completes.
+const (
+	// Ran means the cell's runner executed in this process.
+	Ran Origin = iota
+	// Deduped means the value was shared from an identical earlier cell
+	// (equal fingerprint) without running again.
+	Deduped
+	// Resumed means the value was loaded from the resume manifest.
+	Resumed
+)
+
+// String names the origin for sinks and logs.
+func (o Origin) String() string {
+	switch o {
+	case Deduped:
+		return "dedup"
+	case Resumed:
+		return "resume"
+	default:
+		return "ran"
+	}
+}
+
+// Runner turns one cell into its value. Runners must be safe for concurrent
+// calls on distinct cells.
+type Runner[T any] func(ctx context.Context, c Cell) (T, error)
+
+// CellError is the typed failure of a single cell: either the runner
+// returned an error (wrapped, so errors.As still reaches the cause) or it
+// panicked (Panic holds the recovered value and Stack the goroutine trace —
+// panics are isolated per cell and never tear down the sweep).
+type CellError struct {
+	Cell  Cell
+	Err   error  // non-nil for runner errors
+	Panic string // non-empty for runner panics
+	Stack string
+}
+
+// Error renders the failing cell's coordinates and cause.
+func (e *CellError) Error() string {
+	site := fmt.Sprintf("sweep: cell %d (%s/%s", e.Cell.Index, e.Cell.Scheduler, e.Cell.Bucket)
+	if e.Cell.Profile != "" {
+		site += "/" + e.Cell.Profile
+	}
+	if e.Cell.Fault != "" {
+		site += "/" + e.Cell.Fault
+	}
+	site += fmt.Sprintf(" seed %d)", e.Cell.Seed)
+	if e.Panic != "" {
+		return fmt.Sprintf("%s panicked: %s", site, e.Panic)
+	}
+	return fmt.Sprintf("%s: %v", site, e.Err)
+}
+
+// Unwrap exposes the runner's error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// ExecConfig tunes the generic executor.
+type ExecConfig[T any] struct {
+	// Workers bounds the worker pool; zero or negative means GOMAXPROCS.
+	Workers int
+	// Dedup executes only one cell per distinct non-empty fingerprint and
+	// shares its value with the duplicates.
+	Dedup bool
+	// Cached, when set, is consulted once per unique cell before execution;
+	// a hit skips the runner and surfaces the value with Origin Resumed.
+	Cached func(c Cell) (T, bool)
+	// OnComplete, when set, is called as soon as a cell's runner succeeds —
+	// in completion order, serialized, before any ordering hold-back — so a
+	// resume manifest can persist progress even when an early cell is slow
+	// or the sweep is cancelled mid-flight. A non-nil error aborts the sweep.
+	OnComplete func(i int, c Cell, v T) error
+	// OnResult, when set, streams finished cells strictly in cell order
+	// (index 0, 1, 2, …), including deduped and resumed cells. A non-nil
+	// error aborts the sweep.
+	OnResult func(i int, c Cell, v T, o Origin) error
+}
+
+// Exec runs every cell and returns their values in cell order. Work is
+// sharded dynamically over a bounded pool; identical cells are executed
+// once when Dedup is set; a panicking or failing cell is isolated into a
+// typed *CellError without disturbing its neighbours. On failure the
+// lowest-index error wins regardless of completion order, except that a
+// fired context always returns ctx.Err() (matching CompareContext and
+// RunReplicated). Hook callbacks are serialized — they never run
+// concurrently with each other.
+func Exec[T any](ctx context.Context, cells []Cell, cfg ExecConfig[T], run Runner[T]) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if run == nil {
+		return nil, errors.New("sweep: nil runner")
+	}
+	n := len(cells)
+	if n == 0 {
+		return nil, nil
+	}
+
+	vals := make([]T, n)
+	errs := make([]error, n)
+	origins := make([]Origin, n)
+	done := make([]bool, n)
+
+	// Unit planning: rep[i] is the representative cell whose execution
+	// yields cell i's value. Distinct fingerprints (and all empty ones) are
+	// their own representatives.
+	rep := make([]int, n)
+	byFP := make(map[string]int)
+	var units []int
+	for i, c := range cells {
+		if cfg.Dedup && c.Fingerprint != "" {
+			if j, ok := byFP[c.Fingerprint]; ok {
+				rep[i] = j
+				continue
+			}
+			byFP[c.Fingerprint] = i
+		}
+		rep[i] = i
+		units = append(units, i)
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int   // next cell index awaiting in-order emission
+		hookErr error // first OnComplete/OnResult failure
+	)
+	emit := func() {
+		// mu held. Advance the ordered frontier over every finished cell,
+		// copying dedup values off their representatives as they pass.
+		for next < n {
+			r := rep[next]
+			if !done[r] {
+				return
+			}
+			if next != r {
+				vals[next], errs[next] = vals[r], errs[r]
+				if errs[next] == nil {
+					origins[next] = Deduped
+				}
+				done[next] = true
+			}
+			if errs[next] == nil && cfg.OnResult != nil && hookErr == nil {
+				if err := cfg.OnResult(next, cells[next], vals[next], origins[next]); err != nil {
+					hookErr = err
+				}
+			}
+			next++
+		}
+	}
+	finish := func(i int, v T, o Origin, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		vals[i], errs[i], origins[i] = v, err, o
+		done[i] = true
+		if err == nil && o != Resumed && cfg.OnComplete != nil && hookErr == nil {
+			if herr := cfg.OnComplete(i, cells[i], v); herr != nil {
+				hookErr = herr
+			}
+		}
+		emit()
+	}
+
+	// Resume pass: units satisfied by the cache never reach the pool.
+	pending := units[:0]
+	for _, i := range units {
+		if cfg.Cached != nil {
+			if v, ok := cfg.Cached(cells[i]); ok {
+				finish(i, v, Resumed, nil)
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(cursor.Add(1)) - 1
+				if u >= len(pending) {
+					return
+				}
+				i := pending[u]
+				if err := ctx.Err(); err != nil {
+					finish(i, vals[i], Ran, err)
+					continue
+				}
+				v, err := runCell(ctx, run, cells[i])
+				finish(i, v, Ran, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if hookErr != nil {
+		return nil, hookErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}
+
+// runCell invokes the runner with panic isolation: a panic becomes a typed
+// *CellError carrying the cell, the recovered value and the stack; a plain
+// error is wrapped in a *CellError that still unwraps to the cause. Context
+// errors pass through untouched so callers can match context.Canceled.
+func runCell[T any](ctx context.Context, run Runner[T], c Cell) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v, err = zero, &CellError{Cell: c, Panic: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	v, err = run(ctx, c)
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		err = &CellError{Cell: c, Err: err}
+	}
+	return v, err
+}

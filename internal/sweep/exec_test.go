@@ -1,0 +1,277 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// indexCells builds n plain cells (distinct, unfingerprinted).
+func indexCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{Index: i, Scheduler: "Op", Bucket: "uniform", Seed: int64(i)}
+	}
+	return cells
+}
+
+func TestExecDeterministicOrder(t *testing.T) {
+	const n = 24
+	cells := indexCells(n)
+	var emitted []int
+	vals, err := Exec(context.Background(), cells, ExecConfig[int]{
+		Workers: 8,
+		OnResult: func(i int, c Cell, v int, o Origin) error {
+			emitted = append(emitted, i)
+			return nil
+		},
+	}, func(ctx context.Context, c Cell) (int, error) {
+		// Later cells finish first, forcing the ordered frontier to hold
+		// results back.
+		time.Sleep(time.Duration(n-c.Index) * time.Millisecond)
+		return c.Index * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != n || len(emitted) != n {
+		t.Fatalf("got %d vals, %d emissions", len(vals), len(emitted))
+	}
+	for i := 0; i < n; i++ {
+		if vals[i] != i*10 {
+			t.Fatalf("vals[%d] = %d", i, vals[i])
+		}
+		if emitted[i] != i {
+			t.Fatalf("emission %d was cell %d; OnResult must stream in cell order", i, emitted[i])
+		}
+	}
+}
+
+func TestExecDedupRunsOnce(t *testing.T) {
+	cells := []Cell{
+		{Index: 0, Fingerprint: "A"},
+		{Index: 1, Fingerprint: "B"},
+		{Index: 2, Fingerprint: "A"},
+		{Index: 3, Fingerprint: "A"},
+		{Index: 4}, // unfingerprinted: never deduped
+		{Index: 5},
+	}
+	var runs atomic.Int64
+	var origins []Origin
+	vals, err := Exec(context.Background(), cells, ExecConfig[string]{
+		Dedup: true,
+		OnResult: func(i int, c Cell, v string, o Origin) error {
+			origins = append(origins, o)
+			return nil
+		},
+	}, func(ctx context.Context, c Cell) (string, error) {
+		runs.Add(1)
+		return fmt.Sprintf("fp=%s", c.Fingerprint), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 4 { // A, B, and the two unfingerprinted cells
+		t.Fatalf("runner executed %d times, want 4", got)
+	}
+	if vals[2] != "fp=A" || vals[3] != "fp=A" {
+		t.Fatalf("dedup values wrong: %v", vals)
+	}
+	want := []Origin{Ran, Ran, Deduped, Deduped, Ran, Ran}
+	for i, o := range origins {
+		if o != want[i] {
+			t.Fatalf("cell %d origin %v, want %v", i, o, want[i])
+		}
+	}
+}
+
+func TestExecPanicIsolation(t *testing.T) {
+	cells := indexCells(6)
+	var completed atomic.Int64
+	_, err := Exec(context.Background(), cells, ExecConfig[int]{Workers: 2},
+		func(ctx context.Context, c Cell) (int, error) {
+			if c.Index == 3 {
+				panic("boom in cell 3")
+			}
+			completed.Add(1)
+			return c.Index, nil
+		})
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a *CellError: %v", err, err)
+	}
+	if ce.Cell.Index != 3 || ce.Panic != "boom in cell 3" || ce.Stack == "" {
+		t.Fatalf("CellError = %+v", ce)
+	}
+	if completed.Load() != 5 {
+		t.Fatalf("panic tore down neighbours: only %d cells completed", completed.Load())
+	}
+}
+
+func TestExecLowestIndexErrorWins(t *testing.T) {
+	cells := indexCells(8)
+	sentinel := errors.New("cell failed")
+	_, err := Exec(context.Background(), cells, ExecConfig[int]{Workers: 4},
+		func(ctx context.Context, c Cell) (int, error) {
+			switch c.Index {
+			case 2:
+				time.Sleep(20 * time.Millisecond) // completes after cell 6's error
+				return 0, sentinel
+			case 6:
+				return 0, sentinel
+			}
+			return c.Index, nil
+		})
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a *CellError: %v", err, err)
+	}
+	if ce.Cell.Index != 2 {
+		t.Fatalf("got error for cell %d, want the lowest-index failure (2)", ce.Cell.Index)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatal("CellError does not unwrap to the runner's error")
+	}
+}
+
+func TestExecCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var runs atomic.Int64
+	_, err := Exec(ctx, indexCells(10), ExecConfig[int]{},
+		func(ctx context.Context, c Cell) (int, error) {
+			runs.Add(1)
+			return 0, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("%d cells ran under a fired context", runs.Load())
+	}
+}
+
+func TestExecCachedSkipsRunner(t *testing.T) {
+	cells := []Cell{
+		{Index: 0, Fingerprint: "A"},
+		{Index: 1, Fingerprint: "B"},
+		{Index: 2, Fingerprint: "A"}, // deduped onto the resumed representative
+	}
+	var runs atomic.Int64
+	var origins []Origin
+	vals, err := Exec(context.Background(), cells, ExecConfig[int]{
+		Dedup: true,
+		Cached: func(c Cell) (int, bool) {
+			if c.Fingerprint == "A" {
+				return 99, true
+			}
+			return 0, false
+		},
+		OnResult: func(i int, c Cell, v int, o Origin) error {
+			origins = append(origins, o)
+			return nil
+		},
+	}, func(ctx context.Context, c Cell) (int, error) {
+		runs.Add(1)
+		return 7, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runner executed %d times, want 1 (only the cache miss)", runs.Load())
+	}
+	if vals[0] != 99 || vals[1] != 7 || vals[2] != 99 {
+		t.Fatalf("vals = %v", vals)
+	}
+	want := []Origin{Resumed, Ran, Deduped}
+	for i, o := range origins {
+		if o != want[i] {
+			t.Fatalf("cell %d origin %v, want %v", i, o, want[i])
+		}
+	}
+}
+
+func TestExecWorkerBound(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := Exec(context.Background(), indexCells(16), ExecConfig[int]{Workers: 2},
+		func(ctx context.Context, c Cell) (int, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent runners, want <= 2", p)
+	}
+}
+
+func TestExecOnCompleteCompletionOrder(t *testing.T) {
+	// OnComplete must fire the moment a cell finishes, even while the ordered
+	// frontier is held back by a slow earlier cell — that is what makes the
+	// resume manifest crash-safe.
+	release := make(chan struct{})
+	completed := make(chan int, 2)
+	go func() {
+		_, err := Exec(context.Background(), indexCells(2), ExecConfig[int]{
+			Workers: 2,
+			OnComplete: func(i int, c Cell, v int) error {
+				completed <- i
+				return nil
+			},
+		}, func(ctx context.Context, c Cell) (int, error) {
+			if c.Index == 0 {
+				<-release // cell 0 is slow
+			}
+			return c.Index, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case i := <-completed:
+		if i != 1 {
+			t.Errorf("first completion was cell %d, want 1", i)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("OnComplete for cell 1 blocked behind slow cell 0")
+	}
+	close(release)
+	if i := <-completed; i != 0 {
+		t.Fatalf("second completion was cell %d, want 0", i)
+	}
+}
+
+func TestExecHookErrorAborts(t *testing.T) {
+	hookErr := errors.New("sink is full")
+	_, err := Exec(context.Background(), indexCells(4), ExecConfig[int]{
+		OnResult: func(i int, c Cell, v int, o Origin) error { return hookErr },
+	}, func(ctx context.Context, c Cell) (int, error) { return 0, nil })
+	if !errors.Is(err, hookErr) {
+		t.Fatalf("err = %v, want the hook's error", err)
+	}
+}
+
+func TestExecNilRunnerAndEmpty(t *testing.T) {
+	if _, err := Exec[int](context.Background(), indexCells(1), ExecConfig[int]{}, nil); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+	vals, err := Exec(context.Background(), nil, ExecConfig[int]{},
+		func(ctx context.Context, c Cell) (int, error) { return 0, nil })
+	if err != nil || vals != nil {
+		t.Fatalf("empty sweep: vals=%v err=%v", vals, err)
+	}
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// manifestEntry is one completed cell, keyed by its configuration
+// fingerprint so resume survives grid edits: cells whose configuration is
+// unchanged are recognized wherever they moved in the expansion order.
+type manifestEntry struct {
+	FP      string  `json:"fp"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Manifest is the crash-safe resume journal of a sweep: an append-only
+// JSONL file with one entry per completed unique cell. Each entry is
+// written with a single Write call the moment its cell completes — in
+// completion order, deliberately ahead of the ordered result stream — so a
+// killed sweep resumes from its true frontier. Loading tolerates a torn
+// final line (the crash case) by ignoring it.
+type Manifest struct {
+	mu   sync.Mutex
+	f    *os.File
+	have map[string]Metrics
+}
+
+// OpenManifest opens (or creates) the manifest at path and loads every
+// complete entry already recorded.
+func OpenManifest(path string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open manifest: %w", err)
+	}
+	m := &Manifest{f: f, have: make(map[string]Metrics)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e manifestEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.FP == "" {
+			// A malformed line is the torn tail of a crashed append (or
+			// manual editing); everything before it is trustworthy, the
+			// line itself is discarded and its cell simply re-runs.
+			continue
+		}
+		m.have[e.FP] = e.Metrics
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: read manifest: %w", err)
+	}
+	// Heal a torn tail: if the file does not end in a newline, the next
+	// append would concatenate onto the torn line and be sacrificed with it
+	// on the following load. Terminating the tail now keeps future appends
+	// intact.
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, st.Size()-1); err == nil && buf[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sweep: heal manifest tail: %w", err)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Len returns the number of completed cells on record.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.have)
+}
+
+// Lookup returns the recorded metrics for the cell's fingerprint.
+func (m *Manifest) Lookup(c Cell) (Metrics, bool) {
+	if c.Fingerprint == "" {
+		return Metrics{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.have[c.Fingerprint]
+	return v, ok
+}
+
+// Append journals one completed cell. The line is marshaled first and
+// written with one Write call, so a crash can only tear the final line.
+func (m *Manifest) Append(c Cell, v Metrics) error {
+	if c.Fingerprint == "" {
+		return nil
+	}
+	line, err := json.Marshal(manifestEntry{FP: c.Fingerprint, Metrics: v})
+	if err != nil {
+		return fmt.Errorf("sweep: marshal manifest entry: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.have[c.Fingerprint]; ok {
+		return nil
+	}
+	if _, err := m.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweep: append manifest: %w", err)
+	}
+	m.have[c.Fingerprint] = v
+	return nil
+}
+
+// Close releases the underlying file.
+func (m *Manifest) Close() error { return m.f.Close() }

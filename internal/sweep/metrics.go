@@ -1,0 +1,65 @@
+package sweep
+
+// Metrics is the per-cell measurement vector streamed to sinks, persisted
+// in the resume manifest, and consumed by the aggregation layer. It mirrors
+// the headline SLA metrics of a run report; producers fill it from either a
+// public Report (root package) or an engine.Result (experiments).
+type Metrics struct {
+	Makespan   float64 `json:"makespan"`
+	Speedup    float64 `json:"speedup"`
+	BurstRatio float64 `json:"burstRatio"`
+	ICUtil     float64 `json:"icUtil"`
+	ECUtil     float64 `json:"ecUtil"`
+	TSeq       float64 `json:"tseq"`
+
+	Jobs   int `json:"jobs"`
+	Chunks int `json:"chunks"`
+
+	PeakCount  int     `json:"peakCount"`
+	TotalStall float64 `json:"totalStall"`
+
+	ECMachineSeconds float64 `json:"ecMachineSeconds"`
+
+	Retries   int `json:"retries"`
+	Fallbacks int `json:"fallbacks"`
+}
+
+// metricDefs fixes the canonical metric order used by CSV columns and the
+// aggregator, and maps each name to its accessor.
+var metricDefs = []struct {
+	name string
+	get  func(Metrics) float64
+}{
+	{"makespan", func(m Metrics) float64 { return m.Makespan }},
+	{"speedup", func(m Metrics) float64 { return m.Speedup }},
+	{"burst_ratio", func(m Metrics) float64 { return m.BurstRatio }},
+	{"ic_util", func(m Metrics) float64 { return m.ICUtil }},
+	{"ec_util", func(m Metrics) float64 { return m.ECUtil }},
+	{"tseq", func(m Metrics) float64 { return m.TSeq }},
+	{"jobs", func(m Metrics) float64 { return float64(m.Jobs) }},
+	{"chunks", func(m Metrics) float64 { return float64(m.Chunks) }},
+	{"peak_count", func(m Metrics) float64 { return float64(m.PeakCount) }},
+	{"total_stall", func(m Metrics) float64 { return m.TotalStall }},
+	{"ec_machine_seconds", func(m Metrics) float64 { return m.ECMachineSeconds }},
+	{"retries", func(m Metrics) float64 { return float64(m.Retries) }},
+	{"fallbacks", func(m Metrics) float64 { return float64(m.Fallbacks) }},
+}
+
+// MetricNames returns the canonical metric column order.
+func MetricNames() []string {
+	out := make([]string, len(metricDefs))
+	for i, d := range metricDefs {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Value returns the named metric, or 0 for an unknown name.
+func (m Metrics) Value(name string) float64 {
+	for _, d := range metricDefs {
+		if d.name == name {
+			return d.get(m)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+// Metamorphic properties of the simulation, verified over sweep results:
+// instead of asserting exact outputs, each test checks a relation that must
+// hold between runs (bounds, monotonicity, invariance) across several seeds.
+// The suite lives in the external test package so it can drive the public
+// cloudburst API — the production sweep package never imports the root.
+package sweep_test
+
+import (
+	"testing"
+
+	"cloudburst"
+)
+
+// propertySeeds is the replication axis every property is checked across.
+var propertySeeds = []int64{1, 2, 3}
+
+// propertySweep runs the standard property grid: every scheduler × two
+// buckets × the property seeds, on a small workload so the whole suite stays
+// fast.
+func propertySweep(t *testing.T) []cloudburst.SweepResult {
+	t.Helper()
+	results, err := cloudburst.Sweep(cloudburst.SweepSpec{
+		Schedulers:       []string{"ICOnly", "Greedy", "GreedyTracking", "Op", "SIBS"},
+		Buckets:          []string{"small", "uniform"},
+		Seeds:            propertySeeds,
+		Batches:          2,
+		MeanJobsPerBatch: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestPropertyBurstRatioBounds(t *testing.T) {
+	for _, r := range propertySweep(t) {
+		m, c := r.Metrics, r.Cell
+		if m.BurstRatio < 0 || m.BurstRatio > 1 {
+			t.Errorf("%s/%s seed %d: burst ratio %v outside [0,1]", c.Scheduler, c.Bucket, c.Seed, m.BurstRatio)
+		}
+		if c.Scheduler == "ICOnly" {
+			if m.BurstRatio != 0 {
+				t.Errorf("ICOnly/%s seed %d bursted: ratio %v", c.Bucket, c.Seed, m.BurstRatio)
+			}
+			if m.ECUtil != 0 {
+				t.Errorf("ICOnly/%s seed %d used the external cloud: EC util %v", c.Bucket, c.Seed, m.ECUtil)
+			}
+		}
+	}
+}
+
+func TestPropertySpeedupAtLeastOne(t *testing.T) {
+	// Speedup is t_seq / makespan (eq. 10); any schedule on >= 1 machine must
+	// beat or match serial execution.
+	for _, r := range propertySweep(t) {
+		m, c := r.Metrics, r.Cell
+		if m.TSeq <= 0 || m.Makespan <= 0 {
+			t.Errorf("%s/%s seed %d: degenerate run (tseq %v, makespan %v)", c.Scheduler, c.Bucket, c.Seed, m.TSeq, m.Makespan)
+		}
+		if m.Speedup < 1 {
+			t.Errorf("%s/%s seed %d: speedup %v < 1", c.Scheduler, c.Bucket, c.Seed, m.Speedup)
+		}
+	}
+}
+
+func TestPropertyMakespanMonotoneInICMachines(t *testing.T) {
+	// With the workload and network realization held fixed (derived seeds
+	// depend only on the replication seed), adding internal machines can only
+	// help: makespan must be non-increasing in the IC machine count.
+	icCounts := []int{2, 4, 8, 16}
+	prev := make(map[string]float64) // scheduler/seed -> makespan at previous IC count
+	for _, ic := range icCounts {
+		results, err := cloudburst.Sweep(cloudburst.SweepSpec{
+			Schedulers:       []string{"ICOnly", "Greedy", "Op", "SIBS"},
+			Seeds:            propertySeeds,
+			Batches:          3,
+			MeanJobsPerBatch: 8,
+			ICMachines:       ic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			key := r.Cell.Scheduler + "/" + string(rune('0'+r.Cell.Seed))
+			if p, ok := prev[key]; ok && r.Metrics.Makespan > p+1e-9 {
+				t.Errorf("%s seed %d: makespan rose from %v to %v when IC machines grew to %d",
+					r.Cell.Scheduler, r.Cell.Seed, p, r.Metrics.Makespan, ic)
+			}
+			prev[key] = r.Metrics.Makespan
+		}
+	}
+}
+
+func TestPropertyOOSeriesMonotone(t *testing.T) {
+	// o_t counts ordered output bytes available downstream (eq. 6) — a
+	// cumulative quantity, so every sampled series must be non-decreasing.
+	for _, sched := range []cloudburst.SchedulerName{cloudburst.Greedy, cloudburst.OrderPreserving, cloudburst.SIBS} {
+		for _, seed := range propertySeeds {
+			rep, err := cloudburst.Run(cloudburst.Options{
+				Scheduler:        sched,
+				Batches:          2,
+				MeanJobsPerBatch: 6,
+				WorkloadSeed:     seed,
+				NetSeed:          seed + 100,
+				OOSampleInterval: 30,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			series := rep.OOSeries()
+			if len(series) == 0 {
+				t.Fatalf("%s seed %d: empty OO series", sched, seed)
+			}
+			for i := 1; i < len(series); i++ {
+				if series[i].V < series[i-1].V {
+					t.Errorf("%s seed %d: OO series decreased at t=%v: %v -> %v",
+						sched, seed, series[i].T, series[i-1].V, series[i].V)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertySlackRuleNeverViolated(t *testing.T) {
+	// The order-preserving admission rule (Sec. IV-B) only bursts a job when
+	// the estimated EC round trip fits its slack. Replaying the recorded
+	// trace through the independent auditor must find zero admission
+	// violations for the slack-ruled schedulers — including under high
+	// network variance.
+	for _, sched := range []cloudburst.SchedulerName{cloudburst.OrderPreserving, cloudburst.SIBS} {
+		for _, jitter := range []float64{0, 0.5} {
+			for _, seed := range propertySeeds {
+				rep, err := cloudburst.Run(cloudburst.Options{
+					Scheduler:        sched,
+					Batches:          2,
+					MeanJobsPerBatch: 6,
+					WorkloadSeed:     seed,
+					NetSeed:          seed + 100,
+					JitterCV:         jitter,
+					Audit:            true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				audit, err := rep.Audit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range audit.AdmissionViolations {
+					t.Errorf("%s seed %d jitter %v: job %d admitted in violation of the slack rule: %+v",
+						sched, seed, jitter, v.JobID, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"context"
+	"io"
+)
+
+// Config tunes one sweep execution (the Metrics-typed orchestration layer
+// over the generic Exec core).
+type Config struct {
+	// Workers bounds the worker pool; zero means GOMAXPROCS.
+	Workers int
+	// JSONL and CSV, when non-nil, receive finished cells incrementally in
+	// cell order.
+	JSONL io.Writer
+	CSV   io.Writer
+	// ManifestPath, when non-empty, arms crash-safe resume: completed cells
+	// are journaled there the moment they finish, and cells already on
+	// record are not re-executed.
+	ManifestPath string
+	// Progress, when set, is called after every change in completion state
+	// with the number of finished cells (resumed and deduped cells count as
+	// soon as their representative is settled) and the total.
+	Progress func(done, total int)
+}
+
+// Result is one finished cell.
+type Result struct {
+	Cell    Cell
+	Metrics Metrics
+	Origin  Origin
+}
+
+// RunCells executes the planned cells with the given runner and returns
+// every result in cell order. Identical cells (equal fingerprints) run
+// once; cells recorded in the manifest are not re-run; sinks receive rows
+// incrementally as the ordered frontier advances. On error (including
+// cancellation) the manifest still holds every completed cell, so the same
+// call with the same ManifestPath resumes where the sweep stopped.
+func RunCells(ctx context.Context, cells []Cell, cfg Config, run Runner[Metrics]) ([]Result, error) {
+	var man *Manifest
+	if cfg.ManifestPath != "" {
+		var err error
+		if man, err = OpenManifest(cfg.ManifestPath); err != nil {
+			return nil, err
+		}
+		defer man.Close()
+	}
+	var jsonl *jsonlSink
+	if cfg.JSONL != nil {
+		jsonl = newJSONLSink(cfg.JSONL)
+	}
+	var csvs *csvSink
+	if cfg.CSV != nil {
+		csvs = newCSVSink(cfg.CSV)
+	}
+
+	// groupSize lets progress count cells (not units): finishing one
+	// representative settles every duplicate of its fingerprint at once.
+	groupSize := make(map[string]int, len(cells))
+	for _, c := range cells {
+		if c.Fingerprint != "" {
+			groupSize[c.Fingerprint]++
+		}
+	}
+	done := 0
+	progress := func(n int) {
+		if cfg.Progress == nil {
+			return
+		}
+		done += n
+		cfg.Progress(done, len(cells))
+	}
+
+	results := make([]Result, len(cells))
+	ecfg := ExecConfig[Metrics]{
+		Workers: cfg.Workers,
+		Dedup:   true,
+		OnComplete: func(i int, c Cell, m Metrics) error {
+			progress(cellCount(c, groupSize))
+			if man == nil {
+				return nil
+			}
+			return man.Append(c, m)
+		},
+		OnResult: func(i int, c Cell, m Metrics, o Origin) error {
+			results[i] = Result{Cell: c, Metrics: m, Origin: o}
+			if jsonl != nil {
+				if err := jsonl.Write(c, m, o); err != nil {
+					return err
+				}
+			}
+			if csvs != nil {
+				if err := csvs.Write(c, m, o); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	if man != nil {
+		ecfg.Cached = func(c Cell) (Metrics, bool) {
+			m, ok := man.Lookup(c)
+			if ok {
+				progress(cellCount(c, groupSize))
+			}
+			return m, ok
+		}
+	}
+
+	if _, err := Exec(ctx, cells, ecfg, run); err != nil {
+		return nil, err
+	}
+	if csvs != nil {
+		if err := csvs.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// cellCount returns how many cells the completion of c settles: its whole
+// fingerprint group, or just itself when unfingerprinted.
+func cellCount(c Cell, groupSize map[string]int) int {
+	if c.Fingerprint == "" {
+		return 1
+	}
+	return groupSize[c.Fingerprint]
+}

@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// resultRow is the JSONL representation of one finished cell.
+type resultRow struct {
+	Cell
+	Origin  string  `json:"origin"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// jsonlSink streams one JSON object per finished cell.
+type jsonlSink struct{ enc *json.Encoder }
+
+func newJSONLSink(w io.Writer) *jsonlSink { return &jsonlSink{enc: json.NewEncoder(w)} }
+
+func (s *jsonlSink) Write(c Cell, m Metrics, o Origin) error {
+	return s.enc.Encode(resultRow{Cell: c, Origin: o.String(), Metrics: m})
+}
+
+func (s *jsonlSink) Flush() error { return nil }
+
+// csvSink streams a flat table: the cell coordinates followed by the
+// canonical metric columns.
+type csvSink struct {
+	w      *csv.Writer
+	wrote  bool
+	fields []string
+}
+
+func newCSVSink(w io.Writer) *csvSink {
+	return &csvSink{w: csv.NewWriter(w), fields: MetricNames()}
+}
+
+func (s *csvSink) Write(c Cell, m Metrics, o Origin) error {
+	if !s.wrote {
+		header := append([]string{
+			"index", "scheduler", "bucket", "profile", "fault", "seed", "origin",
+		}, s.fields...)
+		if err := s.w.Write(header); err != nil {
+			return err
+		}
+		s.wrote = true
+	}
+	row := []string{
+		strconv.Itoa(c.Index), c.Scheduler, c.Bucket, c.Profile, c.Fault,
+		strconv.FormatInt(c.Seed, 10), o.String(),
+	}
+	for _, name := range s.fields {
+		row = append(row, fmt.Sprintf("%g", m.Value(name)))
+	}
+	return s.w.Write(row)
+}
+
+func (s *csvSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}

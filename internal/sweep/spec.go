@@ -1,0 +1,394 @@
+// Package sweep is the concurrent parameter-sweep engine behind the public
+// cloudburst.Sweep API and the internal/experiments drivers: it expands a
+// declarative grid specification (schedulers × buckets × network profiles ×
+// fault sets × replication seeds) into cells with deterministically derived
+// per-cell seeds, executes the cells on a GOMAXPROCS-bounded worker pool
+// with per-cell panic isolation and deterministic result order, dedups
+// identical cells through their configuration fingerprints, streams results
+// incrementally to JSONL/CSV sinks, and keeps a crash-safe resume manifest
+// so an interrupted sweep restarts from the last completed cell.
+//
+// The package is deliberately ignorant of the public Options type (the root
+// package imports sweep, not the other way around): callers plan cells,
+// stamp each with a fingerprint, and supply a Runner that turns a cell into
+// a Metrics vector. The root package wires Runner to cloudburst.RunContext;
+// internal/experiments wires the generic Exec core to engine.RunContext.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// MaxCells bounds the grid expansion: a spec whose axis product exceeds
+// this is rejected at validation time rather than exploding memory.
+const MaxCells = 100000
+
+// Profile is one named network regime of the sweep grid. The zero value
+// (aside from Name) means "the run's defaults" — a paper-testbed diurnal
+// pipe; every non-zero field overrides the corresponding option.
+type Profile struct {
+	Name               string  `json:"name"`
+	UploadMeanBW       float64 `json:"uploadMeanBW,omitempty"`   // bytes/sec
+	DownloadMeanBW     float64 `json:"downloadMeanBW,omitempty"` // bytes/sec
+	DiurnalAmplitude   float64 `json:"diurnalAmplitude,omitempty"`
+	JitterCV           float64 `json:"jitterCV,omitempty"`
+	OutageMTBF         float64 `json:"outageMTBF,omitempty"`
+	OutageMeanDuration float64 `json:"outageMeanDuration,omitempty"`
+	OutageThrottle     float64 `json:"outageThrottle,omitempty"`
+}
+
+// FaultSet is one named fault-injection regime of the grid. The zero value
+// (aside from Name) disables every fault source. The fault RNG seed is not
+// part of the set: it is derived per cell from the replication seed.
+type FaultSet struct {
+	Name                 string  `json:"name"`
+	ECRevocationMTBF     float64 `json:"ecRevocationMTBF,omitempty"`
+	ECRevocationWarning  float64 `json:"ecRevocationWarning,omitempty"`
+	ICCrashMTBF          float64 `json:"icCrashMTBF,omitempty"`
+	ICCrashMTTR          float64 `json:"icCrashMTTR,omitempty"`
+	TransferStallMTBF    float64 `json:"transferStallMTBF,omitempty"`
+	TransferStallTimeout float64 `json:"transferStallTimeout,omitempty"`
+	MaxRetries           int     `json:"maxRetries,omitempty"`
+	RetryBackoff         float64 `json:"retryBackoff,omitempty"`
+}
+
+// Enabled reports whether any fault source is armed.
+func (f FaultSet) Enabled() bool {
+	return f.ECRevocationMTBF > 0 || f.ICCrashMTBF > 0 || f.TransferStallMTBF > 0
+}
+
+// Spec declares a sweep grid. The cross product of the five axes —
+// Schedulers × Buckets × Profiles × Faults × seeds — becomes the cell list;
+// the remaining fields are scalar knobs shared by every cell. Empty axes
+// normalize to a single default element, so the zero Spec is one cell of
+// the paper testbed.
+type Spec struct {
+	// Axes.
+	Schedulers []string   `json:"schedulers,omitempty"`
+	Buckets    []string   `json:"buckets,omitempty"`
+	Profiles   []Profile  `json:"profiles,omitempty"`
+	Faults     []FaultSet `json:"faults,omitempty"`
+	// Seeds lists the replication seeds explicitly; when empty, SeedCount
+	// seeds BaseSeed, BaseSeed+1, … are used (default one seed, base 1).
+	Seeds     []int64 `json:"seeds,omitempty"`
+	SeedCount int     `json:"seedCount,omitempty"`
+	BaseSeed  int64   `json:"baseSeed,omitempty"`
+
+	// Shared scalar knobs (zero = the run's documented default).
+	Batches          int     `json:"batches,omitempty"`
+	MeanJobsPerBatch float64 `json:"meanJobsPerBatch,omitempty"`
+	BatchIntervalSec float64 `json:"batchIntervalSec,omitempty"`
+	ICMachines       int     `json:"icMachines,omitempty"`
+	ECMachines       int     `json:"ecMachines,omitempty"`
+	SlackMarginSec   float64 `json:"slackMarginSec,omitempty"`
+	Rescheduling     bool    `json:"rescheduling,omitempty"`
+	OOToleranceJobs  int     `json:"ooToleranceJobs,omitempty"`
+	OOSampleInterval float64 `json:"ooSampleInterval,omitempty"`
+}
+
+// SpecError reports a structurally invalid sweep specification. Every
+// rejection from ParseSpec and Spec.Validate unwraps to this type.
+type SpecError struct {
+	Field  string // offending field, e.g. "seedCount" or "profiles[1].name"
+	Reason string
+}
+
+// Error renders the conventional sweep-prefixed message.
+func (e *SpecError) Error() string {
+	if e.Field == "" {
+		return fmt.Sprintf("sweep: invalid spec: %s", e.Reason)
+	}
+	return fmt.Sprintf("sweep: invalid spec: %s %s", e.Field, e.Reason)
+}
+
+func specErr(field, reason string, args ...any) *SpecError {
+	if len(args) > 0 {
+		reason = fmt.Sprintf(reason, args...)
+	}
+	return &SpecError{Field: field, Reason: reason}
+}
+
+// ParseSpec decodes a JSON grid specification and validates it. Unknown
+// fields, malformed JSON and out-of-domain values are all rejected with a
+// typed *SpecError — the parser never panics, whatever the input.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, specErr("", "%v", err)
+	}
+	// Trailing garbage after the spec object is a malformed file, not an
+	// extended grid.
+	if dec.More() {
+		return nil, specErr("", "trailing data after the spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Normalize returns a copy with every empty axis replaced by its single
+// default element: the Op scheduler, the uniform bucket, an unnamed default
+// network profile, no faults, and one seed (BaseSeed, default 1). It is
+// idempotent, and Cells applies it automatically.
+func (s Spec) Normalize() Spec {
+	if len(s.Schedulers) == 0 {
+		s.Schedulers = []string{"Op"}
+	}
+	if len(s.Buckets) == 0 {
+		s.Buckets = []string{"uniform"}
+	}
+	if len(s.Profiles) == 0 {
+		s.Profiles = []Profile{{Name: "default"}}
+	}
+	if len(s.Faults) == 0 {
+		s.Faults = []FaultSet{{Name: "none"}}
+	}
+	if len(s.Seeds) == 0 {
+		if s.BaseSeed == 0 {
+			s.BaseSeed = 1
+		}
+		if s.SeedCount <= 0 {
+			s.SeedCount = 1
+		}
+		// Clamp the expansion defensively: Validate rejects counts beyond
+		// MaxCells, but Normalize must stay allocation-safe on raw input.
+		if s.SeedCount > MaxCells {
+			s.SeedCount = MaxCells
+		}
+		seeds := make([]int64, s.SeedCount)
+		for i := range seeds {
+			seeds[i] = s.BaseSeed + int64(i)
+		}
+		s.Seeds = seeds
+	}
+	s.SeedCount = len(s.Seeds)
+	return s
+}
+
+// Validate rejects structurally broken grids with a typed *SpecError:
+// negative counts, duplicate or blank axis names, and expansions beyond
+// MaxCells. Scheduler and bucket names are not resolved here — the runner's
+// option validation owns that vocabulary and reports unknown names with its
+// own typed errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.SeedCount < 0:
+		return specErr("seedCount", "must not be negative")
+	case s.SeedCount > MaxCells:
+		return specErr("seedCount", "exceeds the %d-cell grid bound", MaxCells)
+	case len(s.Seeds) > MaxCells:
+		return specErr("seeds", "exceeds the %d-cell grid bound", MaxCells)
+	case s.Batches < 0:
+		return specErr("batches", "must not be negative")
+	case s.MeanJobsPerBatch < 0:
+		return specErr("meanJobsPerBatch", "must not be negative")
+	case s.BatchIntervalSec < 0:
+		return specErr("batchIntervalSec", "must not be negative")
+	case s.ICMachines < 0:
+		return specErr("icMachines", "must not be negative")
+	case s.ECMachines < 0:
+		return specErr("ecMachines", "must not be negative")
+	case s.OOToleranceJobs < 0:
+		return specErr("ooToleranceJobs", "must not be negative")
+	case s.OOSampleInterval < 0:
+		return specErr("ooSampleInterval", "must not be negative")
+	}
+	for i, name := range s.Schedulers {
+		if strings.TrimSpace(name) == "" {
+			return specErr(fmt.Sprintf("schedulers[%d]", i), "is blank")
+		}
+	}
+	for i, name := range s.Buckets {
+		if strings.TrimSpace(name) == "" {
+			return specErr(fmt.Sprintf("buckets[%d]", i), "is blank")
+		}
+	}
+	// Profile and fault-set names key the per-cell lookup, so they must be
+	// unique within their axis (the default name fills blanks at Normalize
+	// time only when the axis is empty — explicit entries need names).
+	seen := map[string]bool{}
+	for i, p := range s.Profiles {
+		if p.Name == "" {
+			return specErr(fmt.Sprintf("profiles[%d].name", i), "is blank")
+		}
+		if seen[p.Name] {
+			return specErr(fmt.Sprintf("profiles[%d].name", i), "duplicates %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.validate(fmt.Sprintf("profiles[%d]", i)); err != nil {
+			return err
+		}
+	}
+	seen = map[string]bool{}
+	for i, f := range s.Faults {
+		if f.Name == "" {
+			return specErr(fmt.Sprintf("faults[%d].name", i), "is blank")
+		}
+		if seen[f.Name] {
+			return specErr(fmt.Sprintf("faults[%d].name", i), "duplicates %q", f.Name)
+		}
+		seen[f.Name] = true
+		if err := f.validate(fmt.Sprintf("faults[%d]", i)); err != nil {
+			return err
+		}
+	}
+	n := s.Normalize()
+	cells := int64(1)
+	for _, axis := range []int{
+		len(n.Schedulers), len(n.Buckets), len(n.Profiles), len(n.Faults), len(n.Seeds),
+	} {
+		cells *= int64(axis)
+		if cells > MaxCells {
+			return specErr("", "grid expands to more than %d cells", MaxCells)
+		}
+	}
+	return nil
+}
+
+func (p Profile) validate(path string) error {
+	switch {
+	case p.UploadMeanBW < 0:
+		return specErr(path+".uploadMeanBW", "must not be negative")
+	case p.DownloadMeanBW < 0:
+		return specErr(path+".downloadMeanBW", "must not be negative")
+	case p.DiurnalAmplitude < 0 || p.DiurnalAmplitude > 1:
+		return specErr(path+".diurnalAmplitude", "out of [0,1]")
+	case p.JitterCV < 0:
+		return specErr(path+".jitterCV", "must not be negative")
+	case p.OutageMTBF < 0:
+		return specErr(path+".outageMTBF", "must not be negative")
+	case p.OutageMeanDuration < 0:
+		return specErr(path+".outageMeanDuration", "must not be negative")
+	case p.OutageThrottle < 0 || p.OutageThrottle >= 1:
+		return specErr(path+".outageThrottle", "out of [0,1)")
+	}
+	return nil
+}
+
+func (f FaultSet) validate(path string) error {
+	switch {
+	case f.ECRevocationMTBF < 0:
+		return specErr(path+".ecRevocationMTBF", "must not be negative")
+	case f.ECRevocationWarning < 0:
+		return specErr(path+".ecRevocationWarning", "must not be negative")
+	case f.ICCrashMTBF < 0:
+		return specErr(path+".icCrashMTBF", "must not be negative")
+	case f.ICCrashMTTR < 0:
+		return specErr(path+".icCrashMTTR", "must not be negative")
+	case f.TransferStallMTBF < 0:
+		return specErr(path+".transferStallMTBF", "must not be negative")
+	case f.TransferStallTimeout < 0:
+		return specErr(path+".transferStallTimeout", "must not be negative")
+	case f.RetryBackoff < 0:
+		return specErr(path+".retryBackoff", "must not be negative")
+	}
+	return nil
+}
+
+// Profile returns the named profile of the normalized spec.
+func (s Spec) Profile(name string) (Profile, bool) {
+	for _, p := range s.Normalize().Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// FaultSet returns the named fault set of the normalized spec.
+func (s Spec) FaultSet(name string) (FaultSet, bool) {
+	for _, f := range s.Normalize().Faults {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FaultSet{}, false
+}
+
+// Cell is one grid point: the axis values that select its configuration,
+// the three derived simulation seeds, and the caller-stamped configuration
+// fingerprint used for dedup and the resume manifest.
+type Cell struct {
+	Index     int    `json:"index"`
+	Scheduler string `json:"scheduler"`
+	Bucket    string `json:"bucket"`
+	Profile   string `json:"profile"`
+	Fault     string `json:"fault"`
+	Seed      int64  `json:"seed"`
+
+	// Derived seeds, computed from Seed alone (not from the other axes), so
+	// cells sharing a replication seed run the same workload and network
+	// realization — the pairing the metamorphic comparisons rely on.
+	WorkloadSeed int64 `json:"workloadSeed"`
+	NetSeed      int64 `json:"netSeed"`
+	FaultSeed    int64 `json:"faultSeed"`
+
+	// Fingerprint canonically identifies the cell's full effective
+	// configuration; cells with equal fingerprints produce bit-identical
+	// results and are executed once. Empty means "assume unique".
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Cells expands the normalized grid in deterministic row-major order:
+// scheduler (outermost) → bucket → profile → fault set → seed (innermost).
+// Fingerprints are left empty — the caller stamps them once it has built
+// each cell's effective configuration.
+func (s Spec) Cells() []Cell {
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil
+	}
+	out := make([]Cell, 0, len(n.Schedulers)*len(n.Buckets)*len(n.Profiles)*len(n.Faults)*len(n.Seeds))
+	for _, sched := range n.Schedulers {
+		for _, bucket := range n.Buckets {
+			for _, prof := range n.Profiles {
+				for _, fault := range n.Faults {
+					for _, seed := range n.Seeds {
+						out = append(out, Cell{
+							Index:        len(out),
+							Scheduler:    sched,
+							Bucket:       bucket,
+							Profile:      prof.Name,
+							Fault:        fault.Name,
+							Seed:         seed,
+							WorkloadSeed: DeriveSeed(seed, "workload"),
+							NetSeed:      DeriveSeed(seed, "net"),
+							FaultSeed:    DeriveSeed(seed, "fault"),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DeriveSeed deterministically derives an independent, non-negative stream
+// seed from a replication seed and a salt naming the stream ("workload",
+// "net", "fault"). The salt is hashed with FNV-1a and the combination is
+// finalized with the splitmix64 mixer, so nearby replication seeds do not
+// produce correlated derived seeds.
+func DeriveSeed(seed int64, salt string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(salt))
+	x := uint64(seed) ^ h.Sum64()
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x &^ (1 << 63))
+}
+
+// IsSpecError reports whether err unwraps to a *SpecError.
+func IsSpecError(err error) bool {
+	var se *SpecError
+	return errors.As(err, &se)
+}

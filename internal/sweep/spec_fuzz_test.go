@@ -1,0 +1,86 @@
+package sweep_test
+
+// Fuzz coverage for the grid-spec parser and the planning path behind it: no
+// byte sequence may panic ParseSpec, Normalize, Validate, or Cells; every
+// parser rejection must be a typed, sweep-prefixed *SpecError; an accepted
+// spec must expand within the cell cap; and option assembly for the expanded
+// cells must fail only with typed *SpecError / *OptionError values.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cloudburst"
+	"cloudburst/internal/sweep"
+)
+
+func FuzzSweepSpec(f *testing.F) {
+	// Seed corpus: valid grids, each parser rejection family, and a few
+	// near-misses (unknown axis values parse fine and must be rejected later,
+	// typed, at option assembly).
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schedulers":["Greedy","Op","SIBS"],"buckets":["small","uniform","large"],"seedCount":4}`))
+	f.Add([]byte(`{"profiles":[{"name":"p","jitterCV":0.5,"outageMTBF":3000}],"faults":[{"name":"f","ecRevocationMTBF":400}]}`))
+	f.Add([]byte(`{"schedulers":["NoSuchScheduler"],"buckets":["tiny"]}`))
+	f.Add([]byte(`{"seedCount":-1}`))
+	f.Add([]byte(`{"seedCount":99999999999}`))
+	f.Add([]byte(`{"batches":-2,"icMachines":-8}`))
+	f.Add([]byte(`{"profiles":[{"name":"a"},{"name":"a"}]}`))
+	f.Add([]byte(`{"profiles":[{"name":"p","diurnalAmplitude":2}]}`))
+	f.Add([]byte(`{"unknownField":1}`))
+	f.Add([]byte(`{"batches":1} trailing`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := sweep.ParseSpec(data)
+		if err != nil {
+			var se *sweep.SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseSpec returned untyped error %T: %v", err, err)
+			}
+			if !strings.HasPrefix(err.Error(), "sweep: invalid spec") {
+				t.Fatalf("error not sweep-prefixed: %q", err)
+			}
+			if se.Reason == "" {
+				t.Fatalf("SpecError missing reason: %+v", *se)
+			}
+			return
+		}
+
+		// An accepted spec expands deterministically within the cell cap.
+		cells := spec.Cells()
+		if len(cells) == 0 || len(cells) > sweep.MaxCells {
+			t.Fatalf("accepted spec expanded to %d cells", len(cells))
+		}
+		for i, c := range cells {
+			if c.Index != i {
+				t.Fatalf("cell %d carries Index %d", i, c.Index)
+			}
+			if c.WorkloadSeed < 0 || c.NetSeed < 0 || c.FaultSeed < 0 {
+				t.Fatalf("cell %d derived a negative seed: %+v", i, c)
+			}
+		}
+
+		// Option assembly and validation must never panic, and may reject
+		// only with the typed errors of the two layers. A handful of cells is
+		// enough: axis values repeat across the grid.
+		for _, c := range cells[:min(len(cells), 8)] {
+			o, cerr := cloudburst.CellOptions(*spec, c)
+			if cerr != nil {
+				var se *sweep.SpecError
+				if !errors.As(cerr, &se) {
+					t.Fatalf("CellOptions returned untyped error %T: %v", cerr, cerr)
+				}
+				continue
+			}
+			if verr := o.Validate(); verr != nil {
+				var oe *cloudburst.OptionError
+				if !errors.As(verr, &oe) {
+					t.Fatalf("Options.Validate returned untyped error %T: %v", verr, verr)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecValid(t *testing.T) {
+	data := []byte(`{
+		"schedulers": ["Greedy", "Op"],
+		"buckets": ["small", "large"],
+		"profiles": [{"name": "paper"}, {"name": "highvar", "jitterCV": 0.5}],
+		"faults": [{"name": "none"}, {"name": "revoke", "ecRevocationMTBF": 400}],
+		"seeds": [1, 2, 3],
+		"batches": 2,
+		"meanJobsPerBatch": 5
+	}`)
+	spec, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 2*2*2*2*3 {
+		t.Fatalf("cells = %d, want 48", len(cells))
+	}
+	if spec.Batches != 2 || spec.MeanJobsPerBatch != 5 {
+		t.Fatalf("scalars lost: %+v", spec)
+	}
+}
+
+func TestParseSpecRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		data  string
+		field string // "" means any
+	}{
+		{"malformed json", `{"schedulers": [`, ""},
+		{"unknown field", `{"schedluers": ["Op"]}`, ""},
+		{"trailing data", `{"batches": 1} {"batches": 2}`, ""},
+		{"negative seedCount", `{"seedCount": -1}`, "seedCount"},
+		{"huge seedCount", `{"seedCount": 100000000}`, "seedCount"},
+		{"negative batches", `{"batches": -2}`, "batches"},
+		{"blank scheduler", `{"schedulers": [" "]}`, "schedulers[0]"},
+		{"blank profile name", `{"profiles": [{"name": ""}]}`, "profiles[0].name"},
+		{"duplicate profile", `{"profiles": [{"name": "a"}, {"name": "a"}]}`, "profiles[1].name"},
+		{"duplicate fault", `{"faults": [{"name": "f"}, {"name": "f"}]}`, "faults[1].name"},
+		{"bad amplitude", `{"profiles": [{"name": "p", "diurnalAmplitude": 1.5}]}`, "profiles[0].diurnalAmplitude"},
+		{"bad throttle", `{"profiles": [{"name": "p", "outageThrottle": 1}]}`, "profiles[0].outageThrottle"},
+		{"negative fault mtbf", `{"faults": [{"name": "f", "icCrashMTBF": -1}]}`, "faults[0].icCrashMTBF"},
+		{"grid too large", `{"schedulers": ["a","b","c","d","e"], "seedCount": 99999}`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.data))
+			if err == nil {
+				t.Fatal("spec accepted")
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %T is not a *SpecError: %v", err, err)
+			}
+			if !strings.HasPrefix(err.Error(), "sweep: invalid spec") {
+				t.Fatalf("error not sweep-prefixed: %q", err)
+			}
+			if tc.field != "" && se.Field != tc.field {
+				t.Fatalf("Field = %q, want %q", se.Field, tc.field)
+			}
+		})
+	}
+}
+
+func TestNormalizeDefaultsAndIdempotence(t *testing.T) {
+	n := Spec{}.Normalize()
+	if !reflect.DeepEqual(n, n.Normalize()) {
+		t.Fatal("Normalize is not idempotent")
+	}
+	if len(n.Schedulers) != 1 || len(n.Buckets) != 1 || len(n.Profiles) != 1 ||
+		len(n.Faults) != 1 || len(n.Seeds) != 1 {
+		t.Fatalf("zero spec did not normalize to one cell per axis: %+v", n)
+	}
+	if n.Seeds[0] != 1 {
+		t.Fatalf("default seed = %d, want 1", n.Seeds[0])
+	}
+	if cells := (Spec{}).Cells(); len(cells) != 1 {
+		t.Fatalf("zero spec expands to %d cells, want 1", len(cells))
+	}
+}
+
+func TestCellsExpansionOrderAndSeeds(t *testing.T) {
+	spec := Spec{
+		Schedulers: []string{"Greedy", "Op"},
+		Buckets:    []string{"small", "large"},
+		Seeds:      []int64{10, 20},
+	}
+	cells := spec.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Row-major: scheduler outermost, seed innermost.
+	wantSched := []string{"Greedy", "Greedy", "Greedy", "Greedy", "Op", "Op", "Op", "Op"}
+	wantBucket := []string{"small", "small", "large", "large", "small", "small", "large", "large"}
+	wantSeed := []int64{10, 20, 10, 20, 10, 20, 10, 20}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+		if c.Scheduler != wantSched[i] || c.Bucket != wantBucket[i] || c.Seed != wantSeed[i] {
+			t.Fatalf("cell %d = %s/%s seed %d, want %s/%s seed %d",
+				i, c.Scheduler, c.Bucket, c.Seed, wantSched[i], wantBucket[i], wantSeed[i])
+		}
+		// Derived seeds depend on the replication seed only: cells sharing a
+		// seed share the workload and network realization across schedulers.
+		if c.WorkloadSeed != DeriveSeed(c.Seed, "workload") ||
+			c.NetSeed != DeriveSeed(c.Seed, "net") ||
+			c.FaultSeed != DeriveSeed(c.Seed, "fault") {
+			t.Fatalf("cell %d derived seeds inconsistent: %+v", i, c)
+		}
+	}
+	// Expansion is deterministic.
+	if !reflect.DeepEqual(cells, spec.Cells()) {
+		t.Fatal("Cells is not deterministic")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "workload") == DeriveSeed(1, "net") {
+		t.Fatal("different salts derive the same seed")
+	}
+	if DeriveSeed(1, "net") == DeriveSeed(2, "net") {
+		t.Fatal("different seeds derive the same stream seed")
+	}
+	if DeriveSeed(5, "fault") != DeriveSeed(5, "fault") {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	for _, s := range []int64{-3, -1, 0, 1, 42, 1 << 40} {
+		if DeriveSeed(s, "x") < 0 {
+			t.Fatalf("DeriveSeed(%d) is negative", s)
+		}
+	}
+}
+
+func TestSpecLookups(t *testing.T) {
+	spec := Spec{
+		Profiles: []Profile{{Name: "a", JitterCV: 0.5}},
+		Faults:   []FaultSet{{Name: "f", ICCrashMTBF: 100}},
+	}
+	if p, ok := spec.Profile("a"); !ok || p.JitterCV != 0.5 {
+		t.Fatalf("Profile lookup failed: %+v %v", p, ok)
+	}
+	if _, ok := spec.Profile("missing"); ok {
+		t.Fatal("found a profile that does not exist")
+	}
+	if f, ok := spec.FaultSet("f"); !ok || f.ICCrashMTBF != 100 {
+		t.Fatalf("FaultSet lookup failed: %+v %v", f, ok)
+	}
+	if !spec.Faults[0].Enabled() {
+		t.Fatal("armed fault set reports disabled")
+	}
+	if (FaultSet{Name: "none"}).Enabled() {
+		t.Fatal("zero fault set reports enabled")
+	}
+}
