@@ -13,6 +13,7 @@ package cloudburst
 // their outputs are printed once under -v via the experiments binary.
 
 import (
+	"context"
 	"testing"
 
 	"cloudburst/internal/experiments"
@@ -230,6 +231,37 @@ func BenchmarkRunAutoscaled(b *testing.B) {
 		}
 		if r.ECMachineSeconds <= 0 {
 			b.Fatal("no rental accounting")
+		}
+	}
+}
+
+// BenchmarkStreamingWindow serves one virtual hour of diurnal arrivals with
+// six rolling windows — the cost of a streamed slice of service time,
+// window bookkeeping and report delivery included.
+func BenchmarkStreamingWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc, err := Serve(context.Background(), ServiceOptions{
+			Options: Options{
+				Scheduler:    OrderPreserving,
+				WorkloadSeed: benchSeed,
+				NetSeed:      benchSeed,
+			},
+			DurationSec: 3600,
+			WindowSec:   600,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows := 0
+		for range svc.Reports() {
+			windows++
+		}
+		rep, err := svc.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if windows == 0 || rep.Fed == 0 {
+			b.Fatalf("empty service: %d windows, %d fed", windows, rep.Fed)
 		}
 	}
 }

@@ -1,0 +1,116 @@
+package cloudburst
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"cloudburst/internal/engine"
+)
+
+// Checkpoint blob layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "CBCP"
+//	4       1     format version (currently 1)
+//	5       4     payload length N
+//	9       N     JSON payload {service, engine}
+//	9+N     8     FNV-64a checksum of bytes [0, 9+N)
+//
+// The payload carries the full simulation-defining ServiceOptions (so a
+// restore needs no out-of-band configuration) and the engine's replay
+// cursor. A version bump means the payload schema changed; decode rejects
+// unknown versions rather than guessing.
+const (
+	checkpointMagic   = "CBCP"
+	checkpointVersion = 1
+	checkpointHeader  = len(checkpointMagic) + 1 + 4
+)
+
+// CheckpointError reports a checkpoint blob that cannot be decoded:
+// truncated, corrupted, from an unknown format version, or carrying an
+// inconsistent payload.
+type CheckpointError struct {
+	Reason string
+}
+
+func (e *CheckpointError) Error() string {
+	return "cloudburst: invalid checkpoint: " + e.Reason
+}
+
+func cpErr(format string, args ...any) *CheckpointError {
+	return &CheckpointError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// checkpointFile is the decoded payload of a checkpoint blob.
+type checkpointFile struct {
+	Service ServiceOptions    `json:"service"`
+	Engine  engine.Checkpoint `json:"engine"`
+}
+
+func checkpointSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// encodeCheckpoint serializes a suspended run. Runtime-only fields that
+// must not leak into the blob — the live Tracer and the Restore blob the
+// run itself may have been started from — are cleared first.
+func encodeCheckpoint(cf checkpointFile) ([]byte, error) {
+	cf.Service.Trace = nil
+	cf.Service.Restore = nil
+	cf.Service.CheckpointAtEnd = false
+	payload, err := json.Marshal(cf)
+	if err != nil {
+		return nil, fmt.Errorf("cloudburst: encoding checkpoint: %w", err)
+	}
+	buf := make([]byte, 0, checkpointHeader+len(payload)+8)
+	buf = append(buf, checkpointMagic...)
+	buf = append(buf, checkpointVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint64(buf, checkpointSum(buf))
+	return buf, nil
+}
+
+// decodeCheckpoint validates and decodes a checkpoint blob, returning a
+// typed *CheckpointError on any defect.
+func decodeCheckpoint(blob []byte) (checkpointFile, error) {
+	var cf checkpointFile
+	if len(blob) < checkpointHeader+8 {
+		return cf, cpErr("truncated: %d bytes, need at least %d", len(blob), checkpointHeader+8)
+	}
+	if string(blob[:4]) != checkpointMagic {
+		return cf, cpErr("bad magic %q", blob[:4])
+	}
+	if v := blob[4]; v != checkpointVersion {
+		return cf, cpErr("unsupported format version %d (this build reads version %d)", v, checkpointVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(blob[5:9]))
+	if n != len(blob)-checkpointHeader-8 {
+		return cf, cpErr("payload length %d does not match blob size %d", n, len(blob))
+	}
+	body := blob[:checkpointHeader+n]
+	if got, want := checkpointSum(body), binary.LittleEndian.Uint64(blob[checkpointHeader+n:]); got != want {
+		return cf, cpErr("checksum mismatch: computed %016x, stored %016x", got, want)
+	}
+	if err := json.Unmarshal(blob[checkpointHeader:checkpointHeader+n], &cf); err != nil {
+		return cf, cpErr("payload: %v", err)
+	}
+	switch {
+	case cf.Engine.Fired == 0:
+		return cf, cpErr("payload records no fired events")
+	case cf.Engine.VirtualTime < 0 || cf.Engine.Served <= 0:
+		return cf, cpErr("payload clock is inconsistent (t=%v, served=%v)", cf.Engine.VirtualTime, cf.Engine.Served)
+	case cf.Engine.FedJobs < 0 || cf.Engine.FedBatches < 0 || cf.Engine.Completed < 0 || cf.Engine.Chunks < 0:
+		return cf, cpErr("payload job accounting is negative")
+	case cf.Engine.Completed > cf.Engine.FedJobs+cf.Engine.Chunks:
+		return cf, cpErr("payload completed %d exceeds admitted %d jobs + %d chunks",
+			cf.Engine.Completed, cf.Engine.FedJobs, cf.Engine.Chunks)
+	case cf.Service.WindowSec <= 0:
+		return cf, cpErr("payload window length %v is not positive", cf.Service.WindowSec)
+	}
+	return cf, nil
+}

@@ -1,0 +1,109 @@
+package cloudburst
+
+// Fuzz coverage for the checkpoint codec: decodeCheckpoint must never
+// panic on arbitrary bytes; every rejection must be a typed, prefixed
+// *CheckpointError; and any blob it accepts must survive a re-encode /
+// re-decode round trip with the replay cursor intact.
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cloudburst/internal/engine"
+)
+
+// fuzzSeedBlob builds a realistic valid checkpoint without running a
+// simulation, so the fuzzer starts from the interesting region of the
+// input space.
+func fuzzSeedBlob(t interface{ Fatalf(string, ...any) }) []byte {
+	blob, err := encodeCheckpoint(checkpointFile{
+		Service: ServiceOptions{
+			Options:   Options{WorkloadSeed: 3, NetSeed: 5},
+			WindowSec: 600,
+		}.normalizeService(),
+		Engine: engine.Checkpoint{
+			Fired:       1234,
+			VirtualTime: 1690.5,
+			Served:      1700,
+			FedJobs:     40,
+			FedBatches:  10,
+			Chunks:      6,
+			Completed:   31,
+			Windows:     2,
+			Fingerprint: 0xdeadbeefcafe,
+			Events:      321,
+		},
+	})
+	if err != nil {
+		t.Fatalf("encoding seed checkpoint: %v", err)
+	}
+	return blob
+}
+
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	valid := fuzzSeedBlob(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CBCP"))
+	f.Add(append([]byte("CBCP\x01\x00\x00\x00\x00"), make([]byte, 8)...))
+	truncated := append([]byte(nil), valid[:len(valid)-5]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		cf, err := decodeCheckpoint(blob)
+		if err != nil {
+			var ce *CheckpointError
+			if !errors.As(err, &ce) {
+				t.Fatalf("decode error is not a *CheckpointError: %T %v", err, err)
+			}
+			if !strings.HasPrefix(err.Error(), "cloudburst: invalid checkpoint: ") {
+				t.Fatalf("unprefixed checkpoint error: %q", err.Error())
+			}
+			return
+		}
+		// Accepted blobs must round-trip: re-encoding the decoded file and
+		// decoding again lands on the same payload.
+		blob2, err := encodeCheckpoint(cf)
+		if err != nil {
+			t.Fatalf("re-encoding accepted checkpoint: %v", err)
+		}
+		cf2, err := decodeCheckpoint(blob2)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded checkpoint: %v", err)
+		}
+		if cf2.Engine != cf.Engine {
+			t.Fatalf("replay cursor drifted through round trip:\nbefore: %+v\nafter:  %+v",
+				cf.Engine, cf2.Engine)
+		}
+		// encode scrubs runtime-only fields; compare the rest.
+		scrubbed := cf.Service
+		scrubbed.Trace = nil
+		scrubbed.Restore = nil
+		scrubbed.CheckpointAtEnd = false
+		if !reflect.DeepEqual(cf2.Service, scrubbed) {
+			t.Fatalf("service config drifted through round trip:\nbefore: %+v\nafter:  %+v",
+				scrubbed, cf2.Service)
+		}
+	})
+}
+
+// TestCheckpointRoundTripSeed pins the seed blob's behaviour outside the
+// fuzzer so `go test` exercises the round trip unconditionally.
+func TestCheckpointRoundTripSeed(t *testing.T) {
+	blob := fuzzSeedBlob(t)
+	cf, err := decodeCheckpoint(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if cf.Engine.Fired != 1234 || cf.Engine.Fingerprint != 0xdeadbeefcafe {
+		t.Fatalf("cursor mangled: %+v", cf.Engine)
+	}
+	if cf.Service.WindowSec != 600 || cf.Service.Arrivals != DiurnalArrivals {
+		t.Fatalf("service config mangled: %+v", cf.Service)
+	}
+}

@@ -1,5 +1,8 @@
 // Command cloudburst runs one simulated cloud-bursting workload and prints
-// the SLA report, optionally emitting the figure series as CSV.
+// the SLA report, optionally emitting the figure series as CSV. With -serve
+// it instead runs the always-on streaming mode: open-ended diurnal (or
+// flash-crowd) arrivals, rolling-window metrics on stdout, and optional
+// checkpoint/restore across invocations.
 //
 // Examples:
 //
@@ -8,6 +11,13 @@
 //	cloudburst -scheduler Greedy -csv oo > oo.csv
 //	cloudburst -trace events.jsonl -chrome-trace timeline.json -audit
 //	cloudburst -ec-revoke-mtbf 400 -ec-revoke-warn 30 -audit
+//	cloudburst -serve -duration 2h -window 10m -verify
+//	cloudburst -serve -arrivals flashcrowd -duration 1h
+//	cloudburst -serve -duration 1h -checkpoint svc.cbcp
+//	cloudburst -serve -duration 1h -restore svc.cbcp
+//
+// Related commands: cmd/experiments regenerates the paper's figures and
+// tables; cmd/sweep runs sharded scenario sweeps with resume manifests.
 package main
 
 import (
@@ -15,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cloudburst"
 )
@@ -50,6 +61,16 @@ func main() {
 		stallTimeout = flag.Float64("stall-timeout", 0, "sender timeout aborting a stalled transfer (seconds, default 120)")
 		retries      = flag.Int("retries", 0, "EC re-admissions per disturbed job before IC fallback (0 = default 2, negative = never retry)")
 		faultSeed    = flag.Int64("fault-seed", 0, "seed of the dedicated fault RNG")
+
+		serve          = flag.Bool("serve", false, "streaming service mode: open-ended arrivals with rolling-window metrics (ignores -batches)")
+		duration       = flag.Duration("duration", 0, "with -serve: virtual serving time before draining (0 = until Ctrl-C or -max-jobs)")
+		window         = flag.Duration("window", 10*time.Minute, "with -serve: rolling metric window length")
+		arrivals       = flag.String("arrivals", "diurnal", "with -serve: arrival pattern: steady, diurnal, flashcrowd")
+		maxJobs        = flag.Int("max-jobs", 0, "with -serve: stop feeding after this many jobs (0 = unbounded)")
+		burstFactor    = flag.Float64("burst-factor", 0, "with -serve -arrivals flashcrowd: rate multiplier during bursts (0 = default 6)")
+		checkpointPath = flag.String("checkpoint", "", "with -serve: suspend at -duration and write the checkpoint blob to this file")
+		restorePath    = flag.String("restore", "", "with -serve: resume from a checkpoint blob; -duration adds serving time")
+		quiet          = flag.Bool("quiet", false, "with -serve: suppress per-window lines, print only the final summary")
 	)
 	flag.Parse()
 
@@ -92,6 +113,37 @@ func main() {
 	}
 
 	opts.Verify = *verify
+
+	if *serve {
+		if *compare || *csvOut != "" || *audit || *chromeOut != "" {
+			fatal(fmt.Errorf("-serve streams windows continuously; drop -compare, -csv, -audit and -chrome-trace"))
+		}
+		var jsonl *cloudburst.JSONLTracer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			jsonl = cloudburst.NewJSONLTracer(f)
+			opts.Trace = jsonl
+		}
+		runServe(opts, serveFlags{
+			duration:       *duration,
+			window:         *window,
+			arrivals:       *arrivals,
+			maxJobs:        *maxJobs,
+			burstFactor:    *burstFactor,
+			checkpointPath: *checkpointPath,
+			restorePath:    *restorePath,
+			quiet:          *quiet,
+		})
+		if jsonl != nil {
+			if err := jsonl.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 
 	if *compare {
 		if *traceOut != "" || *chromeOut != "" || *audit {

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"cloudburst"
+)
+
+// serveFlags carries the streaming-mode flag values from main.
+type serveFlags struct {
+	duration       time.Duration
+	window         time.Duration
+	arrivals       string
+	maxJobs        int
+	burstFactor    float64
+	checkpointPath string
+	restorePath    string
+	quiet          bool
+}
+
+// runServe drives the always-on service mode: windows stream to stdout as
+// the simulation closes them, SIGINT cancels cleanly (the run drains its
+// admitted jobs), and -checkpoint/-restore split the service across
+// invocations.
+func runServe(opts cloudburst.Options, sf serveFlags) {
+	so := cloudburst.ServiceOptions{
+		Options:     opts,
+		Arrivals:    cloudburst.ArrivalPattern(sf.arrivals),
+		BurstFactor: sf.burstFactor,
+		DurationSec: sf.duration.Seconds(),
+		WindowSec:   sf.window.Seconds(),
+		MaxJobs:     sf.maxJobs,
+	}
+	if sf.checkpointPath != "" {
+		so.CheckpointAtEnd = true
+	}
+	if sf.restorePath != "" {
+		blob, err := os.ReadFile(sf.restorePath)
+		if err != nil {
+			fatal(err)
+		}
+		so.Restore = blob
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	svc, err := cloudburst.Serve(ctx, so)
+	if err != nil {
+		fatal(err)
+	}
+	if !sf.quiet {
+		fmt.Printf("%6s %8s %8s %5s %5s %6s %9s %8s %8s %8s %9s\n",
+			"window", "start_s", "arrive", "done", "ec", "burst", "thrpt_jph", "ic_util", "ec_util", "p95_s", "oo_MB")
+	}
+	for w := range svc.Reports() {
+		if sf.quiet {
+			continue
+		}
+		fmt.Printf("%6d %8.0f %8d %5d %5d %6.2f %9.1f %7.1f%% %7.1f%% %8.1f %9.1f\n",
+			w.Index, w.Start, w.Arrivals, w.Completions, w.ECCompletions, w.BurstRatio,
+			3600*w.Throughput, 100*w.ICUtil, 100*w.ECUtil, w.SojournP95,
+			float64(w.OrderedBytes)/(1<<20))
+	}
+	rep, err := svc.Wait()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nserved %.0fs virtual time: %d jobs in %d batches fed, %d delivered, stop: %s\n",
+		rep.VirtualTime, rep.Fed, rep.FedBatches, rep.Jobs, rep.StopCause)
+	fmt.Printf("fingerprint %016x over %d trace events\n", rep.Fingerprint, rep.TraceEvents)
+
+	if sf.checkpointPath != "" {
+		blob, err := svc.Checkpoint()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(sf.checkpointPath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s (%d bytes)\n", sf.checkpointPath, len(blob))
+	}
+}

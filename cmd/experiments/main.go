@@ -4,6 +4,11 @@
 //	experiments            # all figures and tables
 //	experiments -ablations # design-choice ablations as well
 //	experiments -only fig9 # a single driver
+//
+// Related commands: cmd/cloudburst runs a single simulation (or, with
+// -serve, the always-on streaming service mode with rolling-window metrics
+// and checkpoint/restore); cmd/sweep runs sharded scenario sweeps with
+// resume manifests.
 package main
 
 import (

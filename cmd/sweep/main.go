@@ -14,6 +14,11 @@
 // manifest; re-running the identical invocation with the same -resume path
 // re-executes only the incomplete cells and rewrites the output files in
 // full.
+//
+// Related commands: cmd/cloudburst runs a single simulation (or, with
+// -serve, the always-on streaming service mode with rolling-window metrics
+// and checkpoint/restore); cmd/experiments regenerates the paper's figures
+// and tables.
 package main
 
 import (

@@ -359,6 +359,11 @@ type Engine struct {
 	retries  int
 	fallbks  int
 
+	// streaming marks an open-ended Serve run: jobs keep arriving for as
+	// long as the source feeds, so completed queue slots are released from
+	// the dense state table instead of accumulating for the whole run.
+	streaming bool
+
 	alloc   *job.Counter
 	seqNext int
 	// states is dense, indexed by job ID: workload IDs are contiguous from

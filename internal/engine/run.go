@@ -36,16 +36,9 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg = cfg.withDefaults()
-	if cfg.Faults != nil {
-		ff := cfg.Faults.withDefaults()
-		if err := ff.Validate(); err != nil {
-			return nil, fmt.Errorf("engine: invalid fault config: %w", err)
-		}
-		if ff.Enabled() && cfg.MapWays > 1 {
-			return nil, fmt.Errorf("engine: fault injection does not support MapWays > 1")
-		}
-		cfg.Faults = &ff
+	cfg, err := prepareConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	eng := sim.NewEngine()
 	if cfg.Reference {
@@ -67,17 +60,7 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 		}
 		e.scaler = scaler
 	}
-	if e.tracer != nil {
-		// RunConfigured opens the stream with the cluster shape so the
-		// auditor can recompute utilization denominators from events alone.
-		e.tracer.Emit(trace.Event{
-			Type: trace.RunConfigured, T: e.eng.Now(),
-			ICMachines: cfg.ICMachines, ECMachines: cfg.ECMachines,
-			ECSpeed: cfg.ECSpeed, Autoscale: cfg.Autoscale != nil,
-			Scheduler:     s.Name(),
-			LinkBWCeiling: maxThreadLimit(cfg.ThreadModel),
-		})
-	}
+	e.emitRunConfigured()
 	if hook != nil {
 		hook(e)
 	}
@@ -134,6 +117,38 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 	}
 
 	return e.result(batches), nil
+}
+
+// prepareConfig applies defaults and validates the fault model; both Run
+// and the streaming Serve enter the engine through it.
+func prepareConfig(cfg Config) (Config, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Faults != nil {
+		ff := cfg.Faults.withDefaults()
+		if err := ff.Validate(); err != nil {
+			return cfg, fmt.Errorf("engine: invalid fault config: %w", err)
+		}
+		if ff.Enabled() && cfg.MapWays > 1 {
+			return cfg, fmt.Errorf("engine: fault injection does not support MapWays > 1")
+		}
+		cfg.Faults = &ff
+	}
+	return cfg, nil
+}
+
+// emitRunConfigured opens the event stream with the cluster shape so the
+// auditor can recompute utilization denominators from events alone.
+func (e *Engine) emitRunConfigured() {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(trace.Event{
+		Type: trace.RunConfigured, T: e.eng.Now(),
+		ICMachines: e.cfg.ICMachines, ECMachines: e.cfg.ECMachines,
+		ECSpeed: e.cfg.ECSpeed, Autoscale: e.cfg.Autoscale != nil,
+		Scheduler:     e.sched.Name(),
+		LinkBWCeiling: maxThreadLimit(e.cfg.ThreadModel),
+	})
 }
 
 // build wires the substrates.
@@ -534,17 +549,28 @@ func (e *Engine) complete(js *jobState, at float64, where sla.Where) {
 			Arrival: js.j.ArrivalTime, OutputBytes: js.j.OutputSize,
 		})
 	}
+	if e.streaming && js.j.ID >= 0 && js.j.ID < len(e.states) {
+		// Open-ended runs must not grow state linearly with every job ever
+		// served; every consumer of the dense table nil-checks its slots.
+		e.states[js.j.ID] = nil
+	}
 }
 
-// result assembles the summary after the run.
+// result assembles the summary after a finite batch run.
 func (e *Engine) result(batches []workload.Batch) *Result {
+	return e.resultFrom(workload.TotalStdSeconds(batches), workload.TotalJobs(batches))
+}
+
+// resultFrom assembles the summary from externally accumulated workload
+// totals — the streaming drive loop tallies them batch by batch as the
+// source feeds, where no finite batch slice ever exists.
+func (e *Engine) resultFrom(tseq float64, originalJobs int) *Result {
 	end := 0.0
 	for _, r := range e.records.Records() {
 		if r.CompletedAt > end {
 			end = r.CompletedAt
 		}
 	}
-	tseq := workload.TotalStdSeconds(batches)
 	r := &Result{
 		Scheduler:             e.sched.Name(),
 		Records:               e.records,
@@ -555,7 +581,7 @@ func (e *Engine) result(batches []workload.Batch) *Result {
 		ICUtil:                e.ic.UtilizationAt(end),
 		ECUtil:                e.ecUtilAt(end),
 		Jobs:                  e.records.Len(),
-		OriginalJobs:          workload.TotalJobs(batches),
+		OriginalJobs:          originalJobs,
 		ChunksCreated:         e.chunks,
 		UploadedBytes:         e.uploadedBytes,
 		DownloadedBytes:       e.downloadedBytes,

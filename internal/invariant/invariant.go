@@ -361,6 +361,12 @@ func (c *Checker) Finish() []Violation {
 	return c.violations
 }
 
+// Current returns the violations detected so far without running the
+// end-of-stream checks. A run suspended mid-flight (for a checkpoint) has
+// open transfers and busy machines by design, so Finish would report false
+// positives; Current is the honest verdict on the streamed prefix.
+func (c *Checker) Current() []Violation { return c.violations }
+
 // Total returns the number of violations detected, including any beyond
 // the retained list.
 func (c *Checker) Total() int { return c.total }

@@ -1,0 +1,340 @@
+// Package window computes rolling-window SLA metrics from a run's trace
+// event stream. A Collector implements trace.Tracer, so it rides the same
+// plumbing as the auditor, the invariant checker and the export sinks; the
+// engine's streaming mode flushes it on a fixed virtual-time period,
+// turning the paper's end-of-run aggregates (burst ratio, utilization, the
+// OO metric) into the rolling signals an always-on service is actually
+// operated by.
+//
+// The collector is deliberately self-contained: every denominator —
+// machine-seconds per cluster, the ordered-output prefix, open-job counts —
+// is reconstructed from events alone, so the windows stay honest even when
+// the engine's own accounting changes. Fleet sizes follow RunConfigured,
+// autoscale actions and machine failures; compute busy-seconds are clipped
+// to the window so a task spanning several windows charges each one only
+// its overlap.
+package window
+
+import (
+	"math"
+	"sort"
+
+	"cloudburst/internal/trace"
+)
+
+// Config parameterizes a Collector.
+type Config struct {
+	// Width is the window length in virtual seconds. It is metadata for
+	// utilization denominators on partial windows; the flush cadence itself
+	// belongs to whoever drives Flush.
+	Width float64
+}
+
+// Report is one window's metrics. Zero-arrival and zero-completion windows
+// are fully defined: rates and ratios degrade to zero, never NaN.
+type Report struct {
+	Index int     // 0-based window number, continuous across checkpoint/restore
+	Start float64 // window [Start, End) in virtual seconds
+	End   float64
+
+	// Arrival and completion flow.
+	Arrivals      int     // original jobs that arrived in the window
+	Completions   int     // jobs delivered in the window (chunks count)
+	ECCompletions int     // of those, delivered from the external cloud
+	BurstRatio    float64 // ECCompletions / Completions, 0 when idle
+	Throughput    float64 // completions per second over the window
+	OpenJobs      int     // placed but undelivered jobs at window end
+
+	// Ordered-output progress (the OO metric, tolerance 0): cumulative
+	// bytes of the contiguous delivered queue prefix at window end, and the
+	// progress made within this window.
+	OrderedBytes int64
+	OrderedDelta int64
+
+	// Utilization: busy machine-seconds clipped to the window over
+	// available machine-seconds (fleet integrated over the window, tracking
+	// autoscale boots/drains and machine failures).
+	ICBusySeconds float64
+	ECBusySeconds float64
+	ICUtil        float64
+	ECUtil        float64
+
+	// Sojourn (delivery minus arrival) of the window's completions.
+	SojournP50 float64
+	SojournP95 float64
+	SojournMax float64
+
+	// Transfer volume and fault recovery within the window.
+	UploadedBytes   int64
+	DownloadedBytes int64
+	Retries         int
+	Fallbacks       int
+}
+
+type machineKey struct {
+	cluster string
+	machine int
+}
+
+// Collector accumulates one window at a time. Feed it the event stream
+// (typically via trace.Multi) and call Flush at each window boundary. Not
+// safe for concurrent use, matching the Tracer contract.
+type Collector struct {
+	cfg Config
+
+	index    int
+	winStart float64
+
+	// Fleet availability, integrated piecewise over time.
+	icFleet    int
+	ecFleet    int
+	fleetT     float64
+	icFleetSec float64
+	ecFleetSec float64
+
+	// Machines mid-task: key -> compute start time.
+	busy    map[machineKey]float64
+	icBusy  float64
+	ecBusy  float64
+	latestT float64
+
+	// Window counters.
+	arrivals   int
+	completes  int
+	ecComplete int
+	uploaded   int64
+	downloaded int64
+	retries    int
+	fallbacks  int
+	sojourns   []float64
+
+	// Lifetime counters for OpenJobs.
+	placed    int
+	delivered int
+
+	// Ordered-output prefix, tolerance 0.
+	deliveredO map[int]int64
+	nextSeq    int
+	ooBytes    int64
+	ooStart    int64
+}
+
+// New returns an empty collector starting its first window at t=0.
+func New(cfg Config) *Collector {
+	return &Collector{
+		cfg:        cfg,
+		busy:       make(map[machineKey]float64),
+		deliveredO: make(map[int]int64),
+	}
+}
+
+// advanceFleet integrates fleet availability up to t.
+func (c *Collector) advanceFleet(t float64) {
+	if dt := t - c.fleetT; dt > 0 {
+		c.icFleetSec += float64(c.icFleet) * dt
+		c.ecFleetSec += float64(c.ecFleet) * dt
+		c.fleetT = t
+	}
+}
+
+// clip charges a compute interval ending at end to the current window,
+// counting only the part after the window opened.
+func (c *Collector) clip(start, end float64) float64 {
+	if start < c.winStart {
+		start = c.winStart
+	}
+	if d := end - start; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Emit implements trace.Tracer.
+func (c *Collector) Emit(ev trace.Event) {
+	if ev.T > c.latestT {
+		c.latestT = ev.T
+	}
+	switch ev.Type {
+	case trace.RunConfigured:
+		c.advanceFleet(ev.T)
+		c.icFleet = ev.ICMachines
+		c.ecFleet = ev.ECMachines
+
+	case trace.JobArrived:
+		c.arrivals++
+
+	case trace.PlacementDecided:
+		c.placed++
+
+	case trace.ComputeStart:
+		c.busy[machineKey{ev.Cluster, ev.Machine}] = ev.T
+
+	case trace.ComputeEnd:
+		key := machineKey{ev.Cluster, ev.Machine}
+		if start, ok := c.busy[key]; ok {
+			d := c.clip(start, ev.T)
+			switch ev.Cluster {
+			case "ic":
+				c.icBusy += d
+			case "ec":
+				c.ecBusy += d
+			}
+			delete(c.busy, key)
+		}
+
+	case trace.AutoscaleBoot, trace.AutoscaleDrain:
+		c.advanceFleet(ev.T)
+		c.ecFleet = ev.Fleet
+
+	case trace.MachineFailed:
+		c.advanceFleet(ev.T)
+		switch ev.Cluster {
+		case "ic":
+			c.icFleet--
+		case "ec":
+			c.ecFleet--
+		}
+
+	case trace.MachineRestored:
+		c.advanceFleet(ev.T)
+		switch ev.Cluster {
+		case "ic":
+			c.icFleet++
+		case "ec":
+			c.ecFleet++
+		}
+
+	case trace.UploadEnd:
+		c.uploaded += ev.Bytes
+
+	case trace.DownloadEnd:
+		c.downloaded += ev.Bytes
+
+	case trace.JobRetried:
+		c.retries++
+
+	case trace.JobFellBack:
+		c.fallbacks++
+
+	case trace.JobDelivered:
+		c.completes++
+		c.delivered++
+		if ev.Where == "EC" {
+			c.ecComplete++
+		}
+		c.sojourns = append(c.sojourns, ev.T-ev.Arrival)
+		if ev.Seq >= 0 {
+			c.deliveredO[ev.Seq] = ev.OutputBytes
+			for {
+				b, ok := c.deliveredO[c.nextSeq]
+				if !ok {
+					break
+				}
+				c.ooBytes += b
+				delete(c.deliveredO, c.nextSeq)
+				c.nextSeq++
+			}
+		}
+	}
+}
+
+// Flush closes the window at now and opens the next one. It reports
+// ok=false only when the window would be empty of time itself (now has not
+// advanced past the window start); a window with no events still flushes a
+// fully zeroed report, which is precisely what a quiet overnight service
+// period looks like.
+func (c *Collector) Flush(now float64) (Report, bool) {
+	if now <= c.winStart {
+		return Report{}, false
+	}
+	c.advanceFleet(now)
+
+	// Charge still-running tasks their overlap with this window, in sorted
+	// machine order: float accumulation is order-sensitive, and map ranging
+	// would make the low bits of a window's busy-seconds nondeterministic —
+	// which the split-run bit-identity guarantee cannot tolerate.
+	running := make([]machineKey, 0, len(c.busy))
+	for key := range c.busy {
+		running = append(running, key)
+	}
+	sort.Slice(running, func(i, j int) bool {
+		if running[i].cluster != running[j].cluster {
+			return running[i].cluster < running[j].cluster
+		}
+		return running[i].machine < running[j].machine
+	})
+	icBusy, ecBusy := c.icBusy, c.ecBusy
+	for _, key := range running {
+		d := c.clip(c.busy[key], now)
+		switch key.cluster {
+		case "ic":
+			icBusy += d
+		case "ec":
+			ecBusy += d
+		}
+	}
+
+	r := Report{
+		Index:           c.index,
+		Start:           c.winStart,
+		End:             now,
+		Arrivals:        c.arrivals,
+		Completions:     c.completes,
+		ECCompletions:   c.ecComplete,
+		OpenJobs:        c.placed - c.delivered,
+		OrderedBytes:    c.ooBytes,
+		OrderedDelta:    c.ooBytes - c.ooStart,
+		ICBusySeconds:   icBusy,
+		ECBusySeconds:   ecBusy,
+		UploadedBytes:   c.uploaded,
+		DownloadedBytes: c.downloaded,
+		Retries:         c.retries,
+		Fallbacks:       c.fallbacks,
+	}
+	if c.completes > 0 {
+		r.BurstRatio = float64(c.ecComplete) / float64(c.completes)
+		sort.Float64s(c.sojourns)
+		r.SojournP50 = percentile(c.sojourns, 0.50)
+		r.SojournP95 = percentile(c.sojourns, 0.95)
+		r.SojournMax = c.sojourns[len(c.sojourns)-1]
+	}
+	if width := now - c.winStart; width > 0 {
+		r.Throughput = float64(c.completes) / width
+	}
+	if c.icFleetSec > 0 {
+		r.ICUtil = icBusy / c.icFleetSec
+	}
+	if c.ecFleetSec > 0 {
+		r.ECUtil = ecBusy / c.ecFleetSec
+	}
+
+	// Open the next window.
+	c.index++
+	c.winStart = now
+	c.icBusy, c.ecBusy = 0, 0
+	c.icFleetSec, c.ecFleetSec = 0, 0
+	c.arrivals, c.completes, c.ecComplete = 0, 0, 0
+	c.uploaded, c.downloaded = 0, 0
+	c.retries, c.fallbacks = 0, 0
+	c.sojourns = c.sojourns[:0]
+	c.ooStart = c.ooBytes
+	return r, true
+}
+
+// Windows returns how many windows have been flushed so far.
+func (c *Collector) Windows() int { return c.index }
+
+// percentile is the nearest-rank percentile of a sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,187 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"cloudburst/internal/trace"
+)
+
+func configured(t float64, ic, ec int) trace.Event {
+	return trace.Event{Type: trace.RunConfigured, T: t, ICMachines: ic, ECMachines: ec}
+}
+
+func delivered(t float64, id, seq int, where string, arrival float64, out int64) trace.Event {
+	return trace.Event{Type: trace.JobDelivered, T: t, JobID: id, Seq: seq,
+		Where: where, Arrival: arrival, OutputBytes: out}
+}
+
+func TestFlushEmptyWindowIsZeroed(t *testing.T) {
+	c := New(Config{Width: 100})
+	c.Emit(configured(0, 4, 2))
+	rep, ok := c.Flush(100)
+	if !ok {
+		t.Fatalf("flush refused a whole empty window")
+	}
+	if rep.Arrivals != 0 || rep.Completions != 0 || rep.OpenJobs != 0 {
+		t.Fatalf("empty window has flow: %+v", rep)
+	}
+	for name, v := range map[string]float64{
+		"BurstRatio": rep.BurstRatio, "Throughput": rep.Throughput,
+		"ICUtil": rep.ICUtil, "ECUtil": rep.ECUtil,
+		"SojournP50": rep.SojournP50, "SojournP95": rep.SojournP95, "SojournMax": rep.SojournMax,
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("empty window: %s = %v, want 0", name, v)
+		}
+	}
+	if rep.Start != 0 || rep.End != 100 || rep.Index != 0 {
+		t.Fatalf("bad window bounds: %+v", rep)
+	}
+}
+
+func TestFlushRefusesZeroLengthWindow(t *testing.T) {
+	c := New(Config{Width: 100})
+	if _, ok := c.Flush(0); ok {
+		t.Fatalf("flushed a window of no time")
+	}
+	c.Flush(100)
+	if _, ok := c.Flush(100); ok {
+		t.Fatalf("flushed the same boundary twice")
+	}
+}
+
+func TestCompletionsAndBurstRatio(t *testing.T) {
+	c := New(Config{Width: 100})
+	c.Emit(configured(0, 2, 2))
+	c.Emit(trace.Event{Type: trace.JobArrived, T: 5, JobID: 0})
+	c.Emit(trace.Event{Type: trace.JobArrived, T: 5, JobID: 1})
+	c.Emit(trace.Event{Type: trace.PlacementDecided, T: 6, JobID: 0})
+	c.Emit(trace.Event{Type: trace.PlacementDecided, T: 6, JobID: 1})
+	c.Emit(delivered(50, 0, 0, "IC", 5, 10))
+	c.Emit(delivered(60, 1, 1, "EC", 5, 20))
+	rep, _ := c.Flush(100)
+	if rep.Arrivals != 2 || rep.Completions != 2 || rep.ECCompletions != 1 {
+		t.Fatalf("flow wrong: %+v", rep)
+	}
+	if rep.BurstRatio != 0.5 {
+		t.Fatalf("burst ratio %v, want 0.5", rep.BurstRatio)
+	}
+	if rep.Throughput != 0.02 {
+		t.Fatalf("throughput %v, want 0.02", rep.Throughput)
+	}
+	if rep.OpenJobs != 0 {
+		t.Fatalf("open jobs %d, want 0", rep.OpenJobs)
+	}
+	if rep.SojournP50 != 45 || rep.SojournMax != 55 {
+		t.Fatalf("sojourns wrong: %+v", rep)
+	}
+	if rep.OrderedBytes != 30 || rep.OrderedDelta != 30 {
+		t.Fatalf("OO wrong: %+v", rep)
+	}
+}
+
+// TestOrderedOutputWaitsForPrefix delivers seq 1 before seq 0: ordered
+// bytes must stay at zero until the gap fills, then jump by both.
+func TestOrderedOutputWaitsForPrefix(t *testing.T) {
+	c := New(Config{Width: 100})
+	c.Emit(delivered(10, 7, 1, "IC", 0, 40))
+	rep, _ := c.Flush(100)
+	if rep.OrderedBytes != 0 {
+		t.Fatalf("out-of-order delivery counted: %+v", rep)
+	}
+	c.Emit(delivered(110, 8, 0, "IC", 0, 25))
+	rep, _ = c.Flush(200)
+	if rep.OrderedBytes != 65 || rep.OrderedDelta != 65 {
+		t.Fatalf("prefix not advanced: %+v", rep)
+	}
+	if rep.Index != 1 || rep.Start != 100 || rep.End != 200 {
+		t.Fatalf("bad second window: %+v", rep)
+	}
+}
+
+// TestBusySecondsClipAcrossWindows runs one task from t=50 to t=150 over a
+// window cut at t=100: each window must be charged only its 50 s overlap.
+func TestBusySecondsClipAcrossWindows(t *testing.T) {
+	c := New(Config{Width: 100})
+	c.Emit(configured(0, 1, 1))
+	c.Emit(trace.Event{Type: trace.ComputeStart, T: 50, JobID: 0, Cluster: "ic", Machine: 0})
+	rep, _ := c.Flush(100)
+	if rep.ICBusySeconds != 50 {
+		t.Fatalf("first window busy %v, want 50", rep.ICBusySeconds)
+	}
+	if rep.ICUtil != 0.5 {
+		t.Fatalf("first window util %v, want 0.5", rep.ICUtil)
+	}
+	c.Emit(trace.Event{Type: trace.ComputeEnd, T: 150, JobID: 0, Cluster: "ic", Machine: 0})
+	rep, _ = c.Flush(200)
+	if rep.ICBusySeconds != 50 {
+		t.Fatalf("second window busy %v, want 50", rep.ICBusySeconds)
+	}
+}
+
+// TestFleetTracksScalingAndFailures integrates the availability
+// denominator through an autoscale boot and a machine failure.
+func TestFleetTracksScalingAndFailures(t *testing.T) {
+	c := New(Config{Width: 100})
+	c.Emit(configured(0, 4, 1))
+	// EC grows to 3 machines halfway through.
+	c.Emit(trace.Event{Type: trace.AutoscaleBoot, T: 50, Fleet: 3})
+	rep, _ := c.Flush(100)
+	// 1 machine * 50 s + 3 machines * 50 s = 200 machine-seconds.
+	c.Emit(trace.Event{Type: trace.ComputeStart, T: 100, JobID: 0, Cluster: "ec", Machine: 0})
+	c.Emit(trace.Event{Type: trace.ComputeEnd, T: 200, JobID: 0, Cluster: "ec", Machine: 0})
+	rep, _ = c.Flush(200)
+	if rep.ECBusySeconds != 100 {
+		t.Fatalf("EC busy %v, want 100", rep.ECBusySeconds)
+	}
+	if want := 100.0 / 300.0; rep.ECUtil != want {
+		t.Fatalf("EC util %v, want %v", rep.ECUtil, want)
+	}
+	// An IC machine fails for the whole next window: denominator shrinks.
+	c.Emit(trace.Event{Type: trace.MachineFailed, T: 200, Cluster: "ic", Machine: 1})
+	rep, _ = c.Flush(300)
+	if rep.ICUtil != 0 {
+		t.Fatalf("idle IC util %v, want 0", rep.ICUtil)
+	}
+	c.Emit(trace.Event{Type: trace.MachineRestored, T: 300, Cluster: "ic", Machine: 1})
+	c.Emit(trace.Event{Type: trace.ComputeStart, T: 300, JobID: 1, Cluster: "ic", Machine: 0})
+	c.Emit(trace.Event{Type: trace.ComputeEnd, T: 400, JobID: 1, Cluster: "ic", Machine: 0})
+	rep, _ = c.Flush(400)
+	if want := 100.0 / 400.0; rep.ICUtil != want {
+		t.Fatalf("restored IC util %v, want %v", rep.ICUtil, want)
+	}
+}
+
+func TestTransferAndFaultCounters(t *testing.T) {
+	c := New(Config{Width: 100})
+	c.Emit(trace.Event{Type: trace.UploadEnd, T: 10, Bytes: 1000})
+	c.Emit(trace.Event{Type: trace.DownloadEnd, T: 20, Bytes: 400})
+	c.Emit(trace.Event{Type: trace.JobRetried, T: 30, JobID: 1})
+	c.Emit(trace.Event{Type: trace.JobFellBack, T: 40, JobID: 1})
+	rep, _ := c.Flush(100)
+	if rep.UploadedBytes != 1000 || rep.DownloadedBytes != 400 ||
+		rep.Retries != 1 || rep.Fallbacks != 1 {
+		t.Fatalf("counters wrong: %+v", rep)
+	}
+	rep, _ = c.Flush(200)
+	if rep.UploadedBytes != 0 || rep.Retries != 0 {
+		t.Fatalf("counters leaked across windows: %+v", rep)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 0.50); p != 5 {
+		t.Fatalf("p50 = %v, want 5", p)
+	}
+	if p := percentile(sorted, 0.95); p != 10 {
+		t.Fatalf("p95 = %v, want 10", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v, want 0", p)
+	}
+	if p := percentile([]float64{42}, 0.95); p != 42 {
+		t.Fatalf("singleton percentile = %v, want 42", p)
+	}
+}

@@ -101,8 +101,16 @@ func BootstrapSet(seed int64, n int, noiseCV float64) ([]job.Features, []float64
 }
 
 // DiurnalDemand scales a base λ by the hour of day: document factories see
-// business-hours peaks. Used by the printshop example, not the core
-// benchmarks.
+// business-hours peaks. It is the default rate function of the streaming
+// arrival process (Stream/StreamConfig.Rate), giving every always-on run
+// the day-shape the finite benchmarks flatten away. The shape, with t=0 as
+// midnight:
+//
+//	00:00–06:00  0.3×λ  overnight trickle
+//	06:00–09:00  1.0×λ  morning shoulder
+//	09:00–17:00  1.5×λ  business-hours peak
+//	17:00–21:00  1.0×λ  evening shoulder
+//	21:00–24:00  0.3×λ  overnight trickle
 func DiurnalDemand(baseLambda float64, t float64) float64 {
 	hour := int(t/3600) % 24
 	switch {

@@ -1,0 +1,251 @@
+package cloudburst
+
+// Tests for the public streaming service API: Serve end-to-end under
+// -verify, window delivery, checkpoint/restore bit-identity through the
+// encoded blob, typed errors for corrupt checkpoints, and ServiceOptions
+// validation.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func serveAndWait(t *testing.T, ctx context.Context, o ServiceOptions) (*ServeReport, []WindowReport, *Service) {
+	t.Helper()
+	svc, err := Serve(ctx, o)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	var wins []WindowReport
+	for w := range svc.Reports() {
+		wins = append(wins, w)
+	}
+	rep, err := svc.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	return rep, wins, svc
+}
+
+func TestServeEndToEndVerified(t *testing.T) {
+	rep, wins, _ := serveAndWait(t, nil, ServiceOptions{
+		Options:     Options{Verify: true},
+		DurationSec: 3600,
+		WindowSec:   600,
+	})
+	if rep.StopCause != "duration" {
+		t.Fatalf("stop cause %q, want duration", rep.StopCause)
+	}
+	if rep.Fed == 0 || rep.Jobs < rep.Fed {
+		t.Fatalf("fed %d, delivered %d", rep.Fed, rep.Jobs)
+	}
+	if len(wins) != rep.Windows || len(wins) < 6 {
+		t.Fatalf("channel delivered %d windows, report says %d", len(wins), rep.Windows)
+	}
+	arrivals := 0
+	for i, w := range wins {
+		if w.Index != i {
+			t.Fatalf("window %d carries index %d", i, w.Index)
+		}
+		arrivals += w.Arrivals
+	}
+	if arrivals != rep.Fed {
+		t.Fatalf("windows saw %d arrivals, report fed %d", arrivals, rep.Fed)
+	}
+	if rep.Fingerprint == 0 || rep.TraceEvents == 0 {
+		t.Fatalf("no fingerprint: %016x over %d events", rep.Fingerprint, rep.TraceEvents)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatalf("non-positive makespan %v", rep.Makespan)
+	}
+}
+
+func TestServeArrivalPatternsDiffer(t *testing.T) {
+	run := func(p ArrivalPattern) *ServeReport {
+		rep, _, _ := serveAndWait(t, nil, ServiceOptions{
+			Arrivals:    p,
+			DurationSec: 3600,
+		})
+		return rep
+	}
+	steady := run(SteadyArrivals)
+	diurnal := run(DiurnalArrivals)
+	if steady.Fed == 0 || diurnal.Fed == 0 {
+		t.Fatalf("patterns fed nothing: steady %d, diurnal %d", steady.Fed, diurnal.Fed)
+	}
+	// The first simulated hour is deep night: the diurnal stream runs at
+	// 0.3x the steady rate, so it must admit materially fewer jobs.
+	if diurnal.Fed >= steady.Fed {
+		t.Fatalf("diurnal night fed %d jobs, steady fed %d", diurnal.Fed, steady.Fed)
+	}
+}
+
+func TestServeCancellationIsClean(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc, err := Serve(ctx, ServiceOptions{Options: Options{Verify: true}})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	seen := 0
+	for range svc.Reports() {
+		if seen++; seen == 2 {
+			cancel()
+		}
+	}
+	rep, err := svc.Wait()
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if rep.StopCause != "cancelled" {
+		t.Fatalf("stop cause %q, want cancelled", rep.StopCause)
+	}
+	if rep.Jobs < rep.Fed {
+		t.Fatalf("cancellation lost jobs: fed %d, delivered %d", rep.Fed, rep.Jobs)
+	}
+}
+
+// TestServeCheckpointRestoreMatchesUnsplit is the public-surface version of
+// the split-run guarantee: serve D1 with CheckpointAtEnd, restore the blob
+// for D2, and compare against one unsplit D1+D2 run.
+func TestServeCheckpointRestoreMatchesUnsplit(t *testing.T) {
+	const d1, d2 = 1700, 1900
+	opts := ServiceOptions{
+		Options:   Options{WorkloadSeed: 11, NetSeed: 11, Verify: true},
+		WindowSec: 600,
+	}
+
+	unsplitOpts := opts
+	unsplitOpts.DurationSec = d1 + d2
+	unsplit, unsplitWins, _ := serveAndWait(t, nil, unsplitOpts)
+
+	firstOpts := opts
+	firstOpts.DurationSec = d1
+	firstOpts.CheckpointAtEnd = true
+	first, firstWins, svc := serveAndWait(t, nil, firstOpts)
+	if first.StopCause != "suspended" {
+		t.Fatalf("first leg stop cause %q, want suspended", first.StopCause)
+	}
+	blob, err := svc.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	secondOpts := ServiceOptions{
+		Options:     Options{Verify: true},
+		DurationSec: d2,
+		Restore:     blob,
+	}
+	second, secondWins, _ := serveAndWait(t, nil, secondOpts)
+
+	if second.Fingerprint != unsplit.Fingerprint || second.TraceEvents != unsplit.TraceEvents {
+		t.Fatalf("split fingerprint %016x/%d, unsplit %016x/%d",
+			second.Fingerprint, second.TraceEvents, unsplit.Fingerprint, unsplit.TraceEvents)
+	}
+	if second.Fed != unsplit.Fed || second.Jobs != unsplit.Jobs ||
+		second.Makespan != unsplit.Makespan || second.VirtualTime != unsplit.VirtualTime {
+		t.Fatalf("split summary diverged:\nsplit:   %+v\nunsplit: %+v", second, unsplit)
+	}
+	wins := append(firstWins, secondWins...)
+	if len(wins) != len(unsplitWins) {
+		t.Fatalf("split delivered %d windows, unsplit %d", len(wins), len(unsplitWins))
+	}
+	for i := range wins {
+		if wins[i] != unsplitWins[i] {
+			t.Fatalf("window %d diverged:\nsplit:   %+v\nunsplit: %+v", i, wins[i], unsplitWins[i])
+		}
+	}
+}
+
+func TestServeCheckpointErrors(t *testing.T) {
+	// A checkpoint demands CheckpointAtEnd and a finished run.
+	svc, err := Serve(nil, ServiceOptions{DurationSec: 600})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if _, err := svc.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if _, err := svc.Checkpoint(); err == nil {
+		t.Fatalf("drained run handed out a checkpoint")
+	}
+}
+
+// TestServeRestoreRejectsCorruptBlobs covers the typed-error contract for
+// every class of defect: truncation, bad magic, unknown version, payload
+// length drift, checksum damage and junk payloads.
+func TestServeRestoreRejectsCorruptBlobs(t *testing.T) {
+	firstOpts := ServiceOptions{DurationSec: 1200, CheckpointAtEnd: true}
+	_, _, svc := serveAndWait(t, nil, firstOpts)
+	blob, err := svc.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		b := append([]byte(nil), blob...)
+		b = mutate(b)
+		_, err := Serve(nil, ServiceOptions{DurationSec: 600, Restore: b})
+		var ce *CheckpointError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: got %v, want *CheckpointError", name, err)
+		}
+	}
+	corrupt("truncated-header", func(b []byte) []byte { return b[:8] })
+	corrupt("truncated-payload", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("truncated-checksum", func(b []byte) []byte { return b[:len(b)-3] })
+	corrupt("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("bad-version", func(b []byte) []byte { b[4] = 0xEE; return b })
+	corrupt("flipped-payload-byte", func(b []byte) []byte { b[20] ^= 0xFF; return b })
+	corrupt("flipped-checksum", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b })
+	// A zero-length Restore means "not set", not "corrupt": the run must
+	// start fresh rather than fail.
+	svc2, err := Serve(nil, ServiceOptions{DurationSec: 600, Restore: []byte{}})
+	if err != nil {
+		t.Fatalf("empty Restore rejected: %v", err)
+	}
+	if rep, err := svc2.Wait(); err != nil || rep.StopCause != "duration" {
+		t.Fatalf("empty Restore run: %+v, %v", rep, err)
+	}
+}
+
+func TestServiceOptionsValidation(t *testing.T) {
+	bad := []ServiceOptions{
+		{Arrivals: "tsunami"},
+		{WindowSec: -1},
+		{DurationSec: -1},
+		{MaxJobs: -1},
+		{Arrivals: FlashCrowdArrivals, BurstFactor: 0.5},
+		{Arrivals: FlashCrowdArrivals, BurstMeanSec: -1},
+		{CheckpointAtEnd: true},                                // no duration budget
+		{CheckpointAtEnd: true, DurationSec: 600, MaxJobs: 10}, // job budget
+		{Options: Options{ICMachines: -1}},                     // embedded Options still validated
+	}
+	for i, o := range bad {
+		if _, err := Serve(nil, o); err == nil {
+			t.Fatalf("case %d: invalid ServiceOptions accepted: %+v", i, o)
+		}
+	}
+	// MaxJobs cannot ride along with Restore.
+	_, _, svc := serveAndWait(t, nil, ServiceOptions{DurationSec: 1200, CheckpointAtEnd: true})
+	blob, err := svc.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	var oe *OptionError
+	if _, err := Serve(nil, ServiceOptions{DurationSec: 600, MaxJobs: 5, Restore: blob}); !errors.As(err, &oe) {
+		t.Fatalf("Restore+MaxJobs: got %v, want *OptionError", err)
+	}
+}
+
+func TestServeMaxJobsBudget(t *testing.T) {
+	rep, _, _ := serveAndWait(t, nil, ServiceOptions{MaxJobs: 12})
+	if rep.StopCause != "maxjobs" {
+		t.Fatalf("stop cause %q, want maxjobs", rep.StopCause)
+	}
+	if rep.Fed < 12 || rep.Jobs < rep.Fed {
+		t.Fatalf("budget run fed %d, delivered %d", rep.Fed, rep.Jobs)
+	}
+}
