@@ -16,6 +16,7 @@ import (
 	"context"
 	"testing"
 
+	"cloudburst/internal/engine"
 	"cloudburst/internal/experiments"
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/qrsm"
@@ -235,6 +236,57 @@ func BenchmarkRunAutoscaled(b *testing.B) {
 	}
 }
 
+// --- Sweep throughput (the headline number) ---
+
+// sweepCellsSpec is a 3 schedulers × 3 buckets × 4 seeds grid — 36
+// distinct cells, nothing dedupable — of short scenario runs (3 batches,
+// ~6 jobs each). Short cells are the regime the scenario-sweep and
+// metamorphic suites live in, where per-cell setup (bootstrap refit, RNG
+// seeding, graph construction) dominates the simulated work; that setup is
+// exactly what arena pooling amortizes away. Longer paper-testbed cells
+// are covered by the BenchmarkRun* and table benches.
+func sweepCellsSpec() SweepSpec {
+	return SweepSpec{
+		Schedulers:       []string{string(Greedy), string(OrderPreserving), string(SIBS)},
+		Buckets:          []string{string(Small), string(Uniform), string(Large)},
+		SeedCount:        4,
+		BaseSeed:         benchSeed,
+		Batches:          3,
+		MeanJobsPerBatch: 6,
+	}
+}
+
+func benchSweepCells(b *testing.B, pooled bool) {
+	b.Helper()
+	prev := engine.SetArenaPooling(pooled)
+	defer engine.SetArenaPooling(prev)
+	spec := sweepCellsSpec()
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := Sweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != 36 {
+			b.Fatalf("cells = %d, want 36", len(rs))
+		}
+		cells += len(rs)
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// BenchmarkSweepCells measures sweep throughput in cells/sec over the full
+// concurrent sweep engine with arena pooling on (the default): every cell
+// reuses a pooled simulation arena and a cloned bootstrap prototype.
+func BenchmarkSweepCells(b *testing.B) { benchSweepCells(b, true) }
+
+// BenchmarkSweepCellsNoReuse runs the identical grid with arena pooling
+// and the bootstrap prototype cache disabled — the no-reuse baseline the
+// arena speedup is measured against. Results are bit-identical to
+// BenchmarkSweepCells; only the allocation story differs.
+func BenchmarkSweepCellsNoReuse(b *testing.B) { benchSweepCells(b, false) }
+
 // BenchmarkStreamingWindow serves one virtual hour of diurnal arrivals with
 // six rolling windows — the cost of a streamed slice of service time,
 // window bookkeeping and report delivery included.
@@ -262,6 +314,38 @@ func BenchmarkStreamingWindow(b *testing.B) {
 		}
 		if windows == 0 || rep.Fed == 0 {
 			b.Fatalf("empty service: %d windows, %d fed", windows, rep.Fed)
+		}
+	}
+}
+
+// BenchmarkServeSteadyState measures the streaming service's steady-state
+// cost — six virtual hours of diurnal arrivals under rolling ten-minute
+// windows, long enough that startup (bootstrap, first fits) amortizes away
+// and the per-window bookkeeping dominates.
+func BenchmarkServeSteadyState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		svc, err := Serve(context.Background(), ServiceOptions{
+			Options: Options{
+				Scheduler:    OrderPreserving,
+				WorkloadSeed: benchSeed,
+				NetSeed:      benchSeed,
+			},
+			DurationSec: 6 * 3600,
+			WindowSec:   600,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows := 0
+		for range svc.Reports() {
+			windows++
+		}
+		rep, err := svc.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if windows < 30 || rep.Fed == 0 {
+			b.Fatalf("short service: %d windows, %d fed", windows, rep.Fed)
 		}
 	}
 }

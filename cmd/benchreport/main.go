@@ -27,15 +27,24 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
-// Benchmark is one measured benchmark result.
+// Benchmark is one measured benchmark result. BytesPerOp and AllocsPerOp
+// are pointers because absence means "not measured" (the bench ran without
+// -benchmem), which is different from a measured zero — a zero-allocation
+// benchmark must round-trip its hard-won 0, and an unmeasured one must not
+// be mistaken for allocation-free.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "cells/sec"). Recorded
+	// for the report, never gated: their direction (higher- or lower-is-
+	// better) is metric-specific and unknown to the comparator.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the BENCH.json document.
@@ -45,13 +54,44 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-// benchLine matches one result row of `go test -bench` output, e.g.
+// benchLine matches the head of one result row of `go test -bench` output,
+// e.g.
 //
 //	BenchmarkTable1Metrics-8    1    100248665 ns/op    35047600 B/op    30215 allocs/op
 //
 // The -N GOMAXPROCS suffix is stripped so reports from differently sized
-// machines stay comparable.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// machines stay comparable. The measurement tail is a sequence of
+// value/unit pairs parsed by parseMetrics — custom b.ReportMetric units
+// (like "cells/sec") can appear anywhere among the standard three.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parseMetrics fills b from the value/unit pair list after the iteration
+// count. It reports whether an ns/op pair was present — the marker of a
+// real benchmark result line.
+func parseMetrics(b *Benchmark, fields []string) bool {
+	sawNs := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return sawNs
+}
 
 func parse(r io.Reader) (*Report, error) {
 	rep := &Report{}
@@ -72,12 +112,8 @@ func parse(r io.Reader) (*Report, error) {
 			}
 			b := Benchmark{Name: m[1]}
 			b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-			b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-			if m[4] != "" {
-				b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			}
-			if m[5] != "" {
-				b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			if !parseMetrics(&b, strings.Fields(m[3])) {
+				continue
 			}
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
@@ -107,8 +143,10 @@ func load(path string) (*Report, error) {
 }
 
 // compare reports regressions of cand against base, returning the failure
-// lines. A metric regresses when cand > base*(1+tol); missing or zero
-// baseline metrics are skipped.
+// lines. A metric regresses when cand > base*(1+tol); a zero baseline
+// ns/op is skipped (nothing meaningful to ratio against), and allocs/op is
+// gated only when both sides actually measured it — an absent metric means
+// the bench ran without -benchmem, not that it allocated nothing.
 func compare(base, cand *Report, nsTol, allocsTol float64, out io.Writer) []string {
 	byName := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
@@ -118,7 +156,11 @@ func compare(base, cand *Report, nsTol, allocsTol float64, out io.Writer) []stri
 	for _, c := range cand.Benchmarks {
 		b, ok := byName[c.Name]
 		if !ok {
-			fmt.Fprintf(out, "new       %-40s %12.0f ns/op %10.0f allocs/op\n", c.Name, c.NsPerOp, c.AllocsPerOp)
+			fmt.Fprintf(out, "new       %-40s %12.0f ns/op", c.Name, c.NsPerOp)
+			if c.AllocsPerOp != nil {
+				fmt.Fprintf(out, " %10.0f allocs/op", *c.AllocsPerOp)
+			}
+			fmt.Fprintln(out)
 			continue
 		}
 		check := func(metric string, baseV, candV, tol float64) {
@@ -136,7 +178,25 @@ func compare(base, cand *Report, nsTol, allocsTol float64, out io.Writer) []stri
 				status, c.Name, metric, baseV, candV, (ratio-1)*100)
 		}
 		check("ns/op", b.NsPerOp, c.NsPerOp, nsTol)
-		check("allocs/op", b.AllocsPerOp, c.AllocsPerOp, allocsTol)
+		switch {
+		case b.AllocsPerOp != nil && c.AllocsPerOp != nil:
+			// A measured-zero baseline is a promise, not a skip: any
+			// candidate allocation regresses it.
+			if *b.AllocsPerOp == 0 && *c.AllocsPerOp > 0 {
+				failures = append(failures, fmt.Sprintf("%s allocs/op: 0 -> %.4g (was allocation-free)",
+					c.Name, *c.AllocsPerOp))
+				fmt.Fprintf(out, "%-9s %-40s %-9s %12.4g -> %12.4g\n",
+					"REGRESSED", c.Name, "allocs/op", 0.0, *c.AllocsPerOp)
+			} else {
+				check("allocs/op", *b.AllocsPerOp, *c.AllocsPerOp, allocsTol)
+			}
+		case b.AllocsPerOp != nil || c.AllocsPerOp != nil:
+			side := "baseline"
+			if b.AllocsPerOp != nil {
+				side = "candidate"
+			}
+			fmt.Fprintf(out, "%-9s %-40s %-9s not measured in %s\n", "skipped", c.Name, "allocs/op", side)
+		}
 	}
 	return failures
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -35,11 +36,60 @@ func TestParse(t *testing.T) {
 		}
 	}
 	tm := rep.Benchmarks[2]
-	if tm.NsPerOp != 100248665 || tm.BytesPerOp != 35047600 || tm.AllocsPerOp != 30215 {
+	if tm.NsPerOp != 100248665 || tm.BytesPerOp == nil || *tm.BytesPerOp != 35047600 ||
+		tm.AllocsPerOp == nil || *tm.AllocsPerOp != 30215 {
 		t.Errorf("Table1Metrics metrics = %+v", tm)
 	}
-	if rep.Benchmarks[1].AllocsPerOp != 0 {
-		t.Errorf("SimEngine allocs = %v, want 0 (absent)", rep.Benchmarks[1].AllocsPerOp)
+	// SimEngine ran without -benchmem: absent, not zero.
+	if rep.Benchmarks[1].AllocsPerOp != nil || rep.Benchmarks[1].BytesPerOp != nil {
+		t.Errorf("SimEngine mem metrics = %+v, want absent", rep.Benchmarks[1])
+	}
+	// QRSMPredict measured a real zero: it must survive, distinct from absent.
+	qp := rep.Benchmarks[0]
+	if qp.AllocsPerOp == nil || *qp.AllocsPerOp != 0 || qp.BytesPerOp == nil || *qp.BytesPerOp != 0 {
+		t.Errorf("QRSMPredict mem metrics = %+v, want measured zeros", qp)
+	}
+}
+
+func TestMeasuredZeroRoundTrips(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range back.Benchmarks {
+		orig := rep.Benchmarks[i]
+		if (b.AllocsPerOp == nil) != (orig.AllocsPerOp == nil) {
+			t.Errorf("%s: allocs presence lost in round trip", b.Name)
+		}
+	}
+	if !strings.Contains(string(data), `"allocs_per_op":0`) {
+		t.Errorf("measured zero allocs dropped from JSON: %s", data)
+	}
+}
+
+func TestParseCustomMetric(t *testing.T) {
+	// b.ReportMetric units land between ns/op and B/op in -bench output;
+	// the parser must record them without losing the standard pairs.
+	const line = `BenchmarkSweepCells-8   3   11415330 ns/op   3154 cells/sec   2972829 B/op   15573 allocs/op
+`
+	rep, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Benchmarks[0]
+	if b.NsPerOp != 11415330 || b.AllocsPerOp == nil || *b.AllocsPerOp != 15573 {
+		t.Errorf("standard metrics lost around custom unit: %+v", b)
+	}
+	if got := b.Extra["cells/sec"]; got != 3154 {
+		t.Errorf("cells/sec = %v, want 3154", got)
 	}
 }
 
@@ -49,16 +99,18 @@ func TestParseEmpty(t *testing.T) {
 	}
 }
 
+func fp(v float64) *float64 { return &v }
+
 func TestCompare(t *testing.T) {
 	base := &Report{Benchmarks: []Benchmark{
-		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 50},
-		{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 10},
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: fp(50)},
+		{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: fp(10)},
 	}}
 
 	t.Run("within tolerance", func(t *testing.T) {
 		cand := &Report{Benchmarks: []Benchmark{
-			{Name: "BenchmarkA", NsPerOp: 140, AllocsPerOp: 52},
-			{Name: "BenchmarkB", NsPerOp: 150, AllocsPerOp: 10},
+			{Name: "BenchmarkA", NsPerOp: 140, AllocsPerOp: fp(52)},
+			{Name: "BenchmarkB", NsPerOp: 150, AllocsPerOp: fp(10)},
 		}}
 		var sb strings.Builder
 		if f := compare(base, cand, 0.5, 0.1, &sb); len(f) != 0 {
@@ -68,7 +120,7 @@ func TestCompare(t *testing.T) {
 
 	t.Run("ns regression", func(t *testing.T) {
 		cand := &Report{Benchmarks: []Benchmark{
-			{Name: "BenchmarkA", NsPerOp: 200, AllocsPerOp: 50},
+			{Name: "BenchmarkA", NsPerOp: 200, AllocsPerOp: fp(50)},
 		}}
 		var sb strings.Builder
 		f := compare(base, cand, 0.5, 0.1, &sb)
@@ -79,7 +131,7 @@ func TestCompare(t *testing.T) {
 
 	t.Run("allocs regression", func(t *testing.T) {
 		cand := &Report{Benchmarks: []Benchmark{
-			{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 14},
+			{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: fp(14)},
 		}}
 		var sb strings.Builder
 		f := compare(base, cand, 0.5, 0.1, &sb)
@@ -90,7 +142,7 @@ func TestCompare(t *testing.T) {
 
 	t.Run("new benchmark ignored", func(t *testing.T) {
 		cand := &Report{Benchmarks: []Benchmark{
-			{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 1e6},
+			{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: fp(1e6)},
 		}}
 		var sb strings.Builder
 		if f := compare(base, cand, 0.5, 0.1, &sb); len(f) != 0 {
@@ -98,6 +150,35 @@ func TestCompare(t *testing.T) {
 		}
 		if !strings.Contains(sb.String(), "new") {
 			t.Error("new benchmark not reported")
+		}
+	})
+
+	t.Run("unmeasured allocs skipped not zero", func(t *testing.T) {
+		// Candidate ran without -benchmem: the gate must not treat the
+		// absent metric as 0 (a "free" pass) nor as a regression.
+		cand := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 100},
+		}}
+		var sb strings.Builder
+		if f := compare(base, cand, 0.5, 0.1, &sb); len(f) != 0 {
+			t.Fatalf("unmeasured allocs must not gate: %v", f)
+		}
+		if !strings.Contains(sb.String(), "not measured in candidate") {
+			t.Errorf("missing skip notice:\n%s", sb.String())
+		}
+	})
+
+	t.Run("measured zero baseline is a promise", func(t *testing.T) {
+		zbase := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkZ", NsPerOp: 100, AllocsPerOp: fp(0)},
+		}}
+		cand := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkZ", NsPerOp: 100, AllocsPerOp: fp(3)},
+		}}
+		var sb strings.Builder
+		f := compare(zbase, cand, 0.5, 0.1, &sb)
+		if len(f) != 1 || !strings.Contains(f[0], "allocation-free") {
+			t.Fatalf("failures = %v, want allocation-free regression", f)
 		}
 	})
 }

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cloudburst/internal/qrsm"
+	"cloudburst/internal/sim"
+	"cloudburst/internal/workload"
+)
+
+// Run arenas. A sweep evaluates thousands of (scheduler, bucket, seed)
+// cells, and every cell used to rebuild the same allocation backbone from
+// scratch: the event heap, the dense job-state tables, one jobState per
+// queue slot, and — dominating everything — a freshly bootstrapped QRSM
+// refit over the same 200 production samples. An arena keeps those
+// structures alive between runs:
+//
+//   - the sim.Engine is Reset (events truncated, freed nodes returned to
+//     its internal pool) and reused, so steady-state scheduling allocates
+//     nothing;
+//   - the states and estCache tables are scrubbed and resliced;
+//   - jobStates come from a paged slab whose cursor rewinds per run
+//     (pages never move, so the pipeline's long-lived pointers stay
+//     valid; every slot is fully overwritten at placement time, so stale
+//     contents never leak into a new run);
+//   - bootstrapped estimators are cloned from a shared materialized
+//     prototype instead of re-observing and re-factorizing the bootstrap
+//     set.
+//
+// Safety: arenas are returned to the pool only by runs that completed
+// cleanly, after every component is scrubbed (see Engine.release). Error
+// paths abandon the arena to the collector — a half-driven event heap or a
+// partially filled state table is never reused. Reference-mode runs bypass
+// arenas entirely: the differential harness exercises the naive structures
+// with no reuse, which is exactly what makes it able to vouch for this
+// fast path. The sla.Set is deliberately NOT pooled — it escapes to the
+// caller through Result.Records and may be read long after the run.
+//
+// What survives in a pooled arena between runs is capacity only, never
+// values: the layered defenses behind that claim (the sla.Set seq-dedup
+// panic, the sim clock monotonicity panic, and the trace auditor's
+// independent metric recomputation) are demonstrated in arena_test.go.
+type arena struct {
+	eng      *sim.Engine
+	states   []*jobState // scrubbed at release; beyond len(states) the backing array is zero
+	estCache []estEntry  // scrubbed at release (stale (job, version) pairs would collide)
+
+	// jobState slab, page-granular so pointers into it survive growth.
+	pages   [][]jobState
+	pageIdx int
+	slot    int
+
+	est *qrsm.Estimator // clone target for the bootstrap prototype
+}
+
+const jobStatePageSize = 256
+
+// arenaPool recycles arenas across runs; sync.Pool makes it safe for the
+// sweep engine's parallel workers, each run holding one arena exclusively.
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// arenaPoolingOff disables reuse when set (zero value: pooling on).
+var arenaPoolingOff atomic.Bool
+
+// SetArenaPooling toggles arena reuse and the bootstrap prototype cache,
+// returning the previous setting. With pooling off every run rebuilds its
+// full allocation backbone — the no-reuse baseline the benchmarks compare
+// against. Toggle only while no runs are in flight.
+func SetArenaPooling(on bool) (prev bool) {
+	return !arenaPoolingOff.Swap(!on)
+}
+
+// acquireArena hands out a clean arena: a scrubbed pooled one, or a fresh
+// zero arena when pooling is off (so the no-reuse baseline still walks the
+// same code path, minus all reuse).
+func acquireArena() *arena {
+	if arenaPoolingOff.Load() {
+		return new(arena)
+	}
+	return arenaPool.Get().(*arena)
+}
+
+// engine returns the arena's reusable event core, creating it on first use.
+func (a *arena) engine() *sim.Engine {
+	if a.eng == nil {
+		a.eng = sim.NewEngine()
+	}
+	return a.eng
+}
+
+// stateTable returns a zeroed dense job-state table of length n. Beyond
+// the slice lengths captured at release the backing arrays are zero by
+// construction (fresh allocations are zero; release scrubs [0:len)), so
+// reslicing larger stays zeroed.
+func (a *arena) stateTable(n int) []*jobState {
+	if cap(a.states) < n {
+		a.states = make([]*jobState, n)
+	}
+	return a.states[:n]
+}
+
+// estCacheTable returns a zeroed estimate-memo table of length n.
+func (a *arena) estCacheTable(n int) []estEntry {
+	if cap(a.estCache) < n {
+		a.estCache = make([]estEntry, n)
+	}
+	return a.estCache[:n]
+}
+
+// newJobState hands out the next slab slot. The caller fully overwrites
+// the slot (*js = jobState{...}), so rewinding the cursor at release needs
+// no zeroing. Completed runs leave uploadItem/icTask nil in every slot, so
+// a parked arena pins no netsim or cluster graphs.
+func (a *arena) newJobState() *jobState {
+	if a.pageIdx == len(a.pages) {
+		a.pages = append(a.pages, make([]jobState, jobStatePageSize))
+	}
+	js := &a.pages[a.pageIdx][a.slot]
+	a.slot++
+	if a.slot == jobStatePageSize {
+		a.pageIdx++
+		a.slot = 0
+	}
+	return js
+}
+
+// newJobState allocates a pipeline slot: from the run's arena, or from the
+// heap for arena-less engines (streaming Serve, whose open-ended slot
+// population would grow a slab without bound, and Reference mode).
+func (e *Engine) newJobState() *jobState {
+	if e.arena == nil {
+		return new(jobState)
+	}
+	return e.arena.newJobState()
+}
+
+// release scrubs the arena and returns it to the pool. Called only after a
+// clean, fully-completed run; error paths keep the arena out of the pool.
+func (e *Engine) release() {
+	a := e.arena
+	if a == nil {
+		return
+	}
+	e.arena = nil
+	if arenaPoolingOff.Load() {
+		return
+	}
+	a.eng.Reset()
+	// Recapture the tables from the engine — setState/estimateJob may have
+	// grown them past the arena's original slices — and scrub them.
+	a.states = e.states
+	clear(a.states)
+	a.states = a.states[:0]
+	a.estCache = e.estCache
+	clear(a.estCache)
+	a.estCache = a.estCache[:0]
+	a.pageIdx, a.slot = 0, 0
+	arenaPool.Put(a)
+}
+
+// bootKey identifies one bootstrap dataset: BootstrapSet is a pure
+// function of (seed, n, noise), so estimators bootstrapped from equal keys
+// are interchangeable.
+type bootKey struct {
+	seed    int64
+	n       int
+	noiseCV float64
+}
+
+// bootProtos caches one materialized estimator prototype per bootstrap
+// dataset. Sweeps draw from a handful of keys, so the cache stays tiny; it
+// is never evicted. Prototypes are read-only after insertion — every run
+// gets its own deep clone.
+var bootProtos sync.Map // bootKey → *qrsm.Estimator
+
+// buildEstimator constructs the run's processing-time oracle. The
+// bootstrap dominates a short run's CPU (200 observations plus a full QR
+// factorization before the first job arrives), and its result depends only
+// on (BootstrapSeed, BootstrapN, NoiseCV) — so optimized runs clone a
+// cached prototype instead. Cloning copies the exact post-Bootstrap state
+// a fresh estimator would reach, so trajectories are bit-identical; the
+// Reference mode and the no-reuse baseline keep paying the full bootstrap.
+func (e *Engine) buildEstimator() *qrsm.Estimator {
+	cfg := e.cfg
+	if cfg.BootstrapN <= 0 {
+		return qrsm.NewEstimator()
+	}
+	if cfg.Reference || arenaPoolingOff.Load() {
+		est := qrsm.NewEstimator()
+		fs, ys := workload.BootstrapSet(cfg.BootstrapSeed+7, cfg.BootstrapN, cfg.NoiseCV)
+		est.Bootstrap(fs, ys)
+		return est
+	}
+	key := bootKey{cfg.BootstrapSeed, cfg.BootstrapN, cfg.NoiseCV}
+	var proto *qrsm.Estimator
+	if v, ok := bootProtos.Load(key); ok {
+		proto = v.(*qrsm.Estimator)
+	} else {
+		proto = qrsm.NewEstimator()
+		fs, ys := workload.BootstrapSet(cfg.BootstrapSeed+7, cfg.BootstrapN, cfg.NoiseCV)
+		proto.Bootstrap(fs, ys)
+		proto.Materialize() // pay the factorization once, not per clone
+		if v, loaded := bootProtos.LoadOrStore(key, proto); loaded {
+			proto = v.(*qrsm.Estimator)
+		}
+	}
+	var dst *qrsm.Estimator
+	if e.arena != nil {
+		if e.arena.est == nil {
+			e.arena.est = new(qrsm.Estimator)
+		}
+		dst = e.arena.est
+	}
+	return proto.CloneInto(dst)
+}

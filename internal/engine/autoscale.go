@@ -76,7 +76,7 @@ func (a *autoscaler) bootDone(now float64, _ any) {
 	e := a.e
 	a.pendingBoots--
 	m := e.ec.AddMachine(e.cfg.ECSpeed)
-	if e.tracer != nil {
+	if e.wants(trace.AutoscaleBoot) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.AutoscaleBoot, T: now,
 			Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),
@@ -107,7 +107,7 @@ func (a *autoscaler) tick() {
 	case wait < a.cfg.TargetWait/2 && a.pendingBoots == 0:
 		if m := e.ec.DrainIdleMachine(a.cfg.Min); m != nil {
 			a.drainCount++
-			if e.tracer != nil {
+			if e.wants(trace.AutoscaleDrain) {
 				e.tracer.Emit(trace.Event{
 					Type: trace.AutoscaleDrain, T: e.eng.Now(),
 					Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),

@@ -227,7 +227,10 @@ type Result struct {
 	ECBoots          int
 	ECDrains         int
 
-	// Learned-model diagnostics.
+	// Learned-model diagnostics. QRSMR2 is the fit quality of the global
+	// QRSM the run's final consultations actually used — a refit requested
+	// by the cadence but never consulted by any decision is not
+	// materialized just to report on it.
 	QRSMR2                float64
 	PredictorObservations int
 
@@ -333,8 +336,17 @@ type Engine struct {
 	cfg    Config
 	sched  sched.Scheduler
 	tracer trace.Tracer // nil disables all event emission
+	// want is the dispatch mask compiled from tracer once per run: emit
+	// sites test it before materializing an Event, so runs where nobody
+	// (or only a narrow-interest sink like the invariant checker) listens
+	// pay one branch per potential event instead of struct construction
+	// and a dynamic dispatch.
+	want trace.Mask
 
-	eng       *sim.Engine
+	eng *sim.Engine
+	// arena is the run's pooled allocation backbone (nil in Reference mode
+	// and for streaming Serve); see arena.go.
+	arena     *arena
 	ic        *cluster.Cluster
 	ec        *cluster.Cluster
 	uplink    *netsim.Link
@@ -391,6 +403,14 @@ type estEntry struct {
 	ver uint64
 	val float64
 }
+
+// wants reports whether the compiled dispatch mask asks for event type t;
+// emit sites guard on it instead of a nil check on the tracer.
+func (e *Engine) wants(t trace.EventType) bool { return e.want.Has(t) }
+
+// compileMask (re)compiles the dispatch mask from the current tracer. Run
+// once per run, before any hooks that emit are installed.
+func (e *Engine) compileMask() { e.want = trace.MaskFor(e.tracer) }
 
 // estimateJob returns the QRSM estimate for j, memoized per (job, estimator
 // version). Estimates depend only on the job's features and the fitted

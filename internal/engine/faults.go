@@ -118,7 +118,7 @@ func (e *Engine) buildFaults() {
 		e.icFaults = cluster.NewFaultInjector(e.eng, e.ic, f.ICCrash, icRNG)
 		e.icFaults.OnFail = e.onICFail
 		e.icFaults.OnRestore = func(at float64, m *cluster.Machine) {
-			if e.tracer != nil {
+			if e.wants(trace.MachineRestored) {
 				e.tracer.Emit(trace.Event{Type: trace.MachineRestored, T: at, Cluster: "ic", Machine: m.ID})
 			}
 		}
@@ -127,7 +127,7 @@ func (e *Engine) buildFaults() {
 		e.ecFaults = cluster.NewFaultInjector(e.eng, e.ec, f.ECRevocation, ecRNG)
 		e.ecFaults.OnFail = e.onECFail
 		e.ecFaults.OnRestore = func(at float64, m *cluster.Machine) {
-			if e.tracer != nil {
+			if e.wants(trace.MachineRestored) {
 				e.tracer.Emit(trace.Event{Type: trace.MachineRestored, T: at, Cluster: "ec", Machine: m.ID})
 			}
 		}
@@ -149,19 +149,19 @@ func (e *Engine) buildFaults() {
 // and no retry budget is consumed.
 func (e *Engine) onICFail(at float64, m *cluster.Machine, aborted *cluster.Task, permanent bool) {
 	js := e.abortedState(aborted)
-	if e.tracer != nil {
-		if js != nil {
-			// Close the interval the abort cut short; the machine keeps the
-			// busy time, so the audit's busy integral matches the engine's.
-			e.tracer.Emit(trace.Event{Type: trace.ComputeEnd, T: at, Cluster: "ic", Machine: m.ID, JobID: js.j.ID})
-		}
+	if js != nil && e.wants(trace.ComputeEnd) {
+		// Close the interval the abort cut short; the machine keeps the
+		// busy time, so the audit's busy integral matches the engine's.
+		e.tracer.Emit(trace.Event{Type: trace.ComputeEnd, T: at, Cluster: "ic", Machine: m.ID, JobID: js.j.ID})
+	}
+	if e.wants(trace.MachineFailed) {
 		e.tracer.Emit(trace.Event{Type: trace.MachineFailed, T: at, Cluster: "ic", Machine: m.ID, Fatal: permanent})
 	}
 	if js == nil || js.done {
 		return
 	}
 	js.icTask = nil
-	if e.tracer != nil {
+	if e.wants(trace.JobRetried) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.JobRetried, T: at,
 			JobID: js.j.ID, Seq: js.seq, From: "IC", To: "IC",
@@ -176,10 +176,10 @@ func (e *Engine) onICFail(at float64, m *cluster.Machine, aborted *cluster.Task,
 // is withdrawn and recovered too.
 func (e *Engine) onECFail(at float64, m *cluster.Machine, aborted *cluster.Task, permanent bool) {
 	js := e.abortedState(aborted)
-	if e.tracer != nil {
-		if js != nil {
-			e.tracer.Emit(trace.Event{Type: trace.ComputeEnd, T: at, Cluster: "ec", Machine: m.ID, JobID: js.j.ID})
-		}
+	if js != nil && e.wants(trace.ComputeEnd) {
+		e.tracer.Emit(trace.Event{Type: trace.ComputeEnd, T: at, Cluster: "ec", Machine: m.ID, JobID: js.j.ID})
+	}
+	if e.wants(trace.MachineFailed) {
 		e.tracer.Emit(trace.Event{Type: trace.MachineFailed, T: at, Cluster: "ec", Machine: m.ID, Fatal: permanent})
 	}
 	if js != nil {
@@ -213,7 +213,7 @@ func (e *Engine) abortedState(t *cluster.Task) *jobState {
 func (e *Engine) onTransferStall(link string, _ recoveryPhase) func(at float64, it *netsim.QueueItem) {
 	return func(at float64, it *netsim.QueueItem) {
 		e.stalls++
-		if e.tracer == nil {
+		if !e.wants(trace.TransferStalled) {
 			return
 		}
 		if js, ok := it.Meta.(*jobState); ok {
@@ -233,7 +233,7 @@ func (e *Engine) onTransferAbort(link string, phase recoveryPhase) func(at float
 		if !ok || js == nil {
 			return
 		}
-		if e.tracer != nil {
+		if e.wants(trace.TransferAborted) {
 			e.tracer.Emit(trace.Event{
 				Type: trace.TransferAborted, T: at,
 				JobID: js.j.ID, Seq: js.seq, Link: link, Bytes: it.Bytes,
@@ -277,7 +277,7 @@ func (e *Engine) retryFire(now float64, js *jobState, phase recoveryPhase) {
 		return
 	}
 	if phase == phaseDownload {
-		if e.tracer != nil {
+		if e.wants(trace.JobRetried) {
 			e.tracer.Emit(trace.Event{
 				Type: trace.JobRetried, T: now,
 				JobID: js.j.ID, Seq: js.seq, From: "EC", To: "EC",
@@ -300,7 +300,7 @@ func (e *Engine) retryFire(now float64, js *jobState, phase recoveryPhase) {
 		e.fallBack(js, now)
 		return
 	}
-	if e.tracer != nil {
+	if e.wants(trace.JobRetried) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.JobRetried, T: now,
 			JobID: js.j.ID, Seq: js.seq, From: "EC", To: "EC",
@@ -325,7 +325,7 @@ func (e *Engine) fallBack(js *jobState, at float64) {
 	js.place = sched.PlaceIC
 	js.uploadItem = nil
 	js.downloading = false
-	if e.tracer != nil {
+	if e.wants(trace.JobFellBack) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.JobFellBack, T: at,
 			JobID: js.j.ID, Seq: js.seq, From: "EC", To: "IC",

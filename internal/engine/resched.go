@@ -28,7 +28,7 @@ func (e *Engine) stealBack() {
 		js := it.Meta.(*jobState)
 		js.uploadItem = nil
 		js.place = sched.PlaceIC
-		if e.tracer != nil {
+		if e.wants(trace.Rescheduled) {
 			e.tracer.Emit(trace.Event{
 				Type: trace.Rescheduled, T: e.eng.Now(),
 				JobID: js.j.ID, Seq: js.seq, From: "EC", To: "IC",
@@ -68,7 +68,7 @@ func (e *Engine) idlePull() {
 			if e.ic.Withdraw(t) {
 				js.icTask = nil
 				js.place = sched.PlaceEC
-				if e.tracer != nil {
+				if e.wants(trace.Rescheduled) {
 					e.tracer.Emit(trace.Event{
 						Type: trace.Rescheduled, T: e.eng.Now(),
 						JobID: js.j.ID, Seq: js.seq, From: "IC", To: "EC",

@@ -7,7 +7,6 @@ import (
 	"cloudburst/internal/cluster"
 	"cloudburst/internal/job"
 	"cloudburst/internal/netsim"
-	"cloudburst/internal/qrsm"
 	"cloudburst/internal/sched"
 	"cloudburst/internal/sim"
 	"cloudburst/internal/sla"
@@ -40,18 +39,27 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
+	// Reference mode runs on the naive structures with no reuse of any
+	// kind; optimized runs draw their allocation backbone from the arena
+	// pool (see arena.go).
+	var a *arena
+	var eng *sim.Engine
 	if cfg.Reference {
 		eng = sim.NewReference()
+	} else {
+		a = acquireArena()
+		eng = a.engine()
 	}
 	e := &Engine{
 		cfg:     cfg,
 		sched:   s,
 		tracer:  cfg.Tracer,
 		eng:     eng,
+		arena:   a,
 		records: sla.NewSet(),
 	}
 	e.onBatchCb = func(now float64, arg any) { e.onBatch(*arg.(*workload.Batch)) }
+	e.compileMask()
 	e.build()
 	if cfg.Autoscale != nil {
 		scaler, err := startAutoscaler(e, *cfg.Autoscale)
@@ -76,8 +84,13 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 		}
 	}
 	e.alloc = job.NewCounter(maxID + 1)
-	e.states = make([]*jobState, maxID+1)
-	e.estCache = make([]estEntry, maxID+1)
+	if a != nil {
+		e.states = a.stateTable(maxID + 1)
+		e.estCache = a.estCacheTable(maxID + 1)
+	} else {
+		e.states = make([]*jobState, maxID+1)
+		e.estCache = make([]estEntry, maxID+1)
+	}
 
 	// The whole arrival wave is known up front; bulk-heapify it instead of
 	// pushing batch events one by one.
@@ -116,7 +129,9 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 		e.prober.Stop()
 	}
 
-	return e.result(batches), nil
+	res := e.result(batches)
+	e.release()
+	return res, nil
 }
 
 // prepareConfig applies defaults and validates the fault model; both Run
@@ -139,7 +154,7 @@ func prepareConfig(cfg Config) (Config, error) {
 // emitRunConfigured opens the event stream with the cluster shape so the
 // auditor can recompute utilization denominators from events alone.
 func (e *Engine) emitRunConfigured() {
-	if e.tracer == nil {
+	if !e.wants(trace.RunConfigured) {
 		return
 	}
 	e.tracer.Emit(trace.Event{
@@ -208,11 +223,7 @@ func (e *Engine) build() {
 
 	e.buildSites(netRNG)
 
-	e.estimator = qrsm.NewEstimator()
-	if cfg.BootstrapN > 0 {
-		fs, ys := workload.BootstrapSet(cfg.BootstrapSeed+7, cfg.BootstrapN, cfg.NoiseCV)
-		e.estimator.Bootstrap(fs, ys)
-	}
+	e.estimator = e.buildEstimator()
 
 	if cfg.Rescheduling {
 		sim.NewTicker(e.eng, cfg.ReschedulingPeriod, func(now float64) { e.reschedule() })
@@ -309,7 +320,7 @@ func (e *Engine) state() *sched.State {
 // onBatch is step (3)-(4) of the architecture: the controller picks up the
 // batch and invokes the scheduler.
 func (e *Engine) onBatch(b workload.Batch) {
-	if e.tracer != nil {
+	if e.wants(trace.JobArrived) {
 		for _, j := range b.Jobs {
 			e.tracer.Emit(trace.Event{
 				Type: trace.JobArrived, T: e.eng.Now(),
@@ -355,18 +366,19 @@ func (e *Engine) onBatch(b workload.Batch) {
 	}
 
 	for _, d := range decisions {
-		js := &jobState{j: d.Job, seq: e.seqNext, place: d.Place}
+		js := e.newJobState()
+		*js = jobState{j: d.Job, seq: e.seqNext, place: d.Place}
 		e.seqNext++
 		e.setState(d.Job.ID, js)
-		if e.tracer != nil {
-			if d.Job.IsChunk() {
-				e.tracer.Emit(trace.Event{
-					Type: trace.Chunked, T: e.eng.Now(),
-					JobID: d.Job.ID, Seq: -1, Parent: d.Job.ParentID, Batch: b.Index,
-					Arrival: d.Job.ArrivalTime, StdSeconds: d.Job.TrueProcTime,
-					Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
-				})
-			}
+		if e.wants(trace.Chunked) && d.Job.IsChunk() {
+			e.tracer.Emit(trace.Event{
+				Type: trace.Chunked, T: e.eng.Now(),
+				JobID: d.Job.ID, Seq: -1, Parent: d.Job.ParentID, Batch: b.Index,
+				Arrival: d.Job.ArrivalTime, StdSeconds: d.Job.TrueProcTime,
+				Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
+			})
+		}
+		if e.wants(trace.PlacementDecided) {
 			e.tracer.Emit(trace.Event{
 				Type: trace.PlacementDecided, T: e.eng.Now(),
 				JobID: d.Job.ID, Seq: js.seq, Batch: b.Index,
@@ -408,7 +420,7 @@ func (e *Engine) submitIC(js *jobState) {
 // submitUpload starts the EC path: upload, remote compute, download.
 func (e *Engine) submitUpload(js *jobState) {
 	js.scheduledAt = e.eng.Now()
-	if e.tracer != nil {
+	if e.wants(trace.UploadStart) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.UploadStart, T: js.scheduledAt,
 			JobID: js.j.ID, Seq: js.seq, Link: "upload", Bytes: js.j.InputSize,
@@ -421,7 +433,7 @@ func (e *Engine) submitUpload(js *jobState) {
 			js.uploadItem = nil
 			js.uploadDone = at
 			e.uploadedBytes += it.Bytes
-			if e.tracer != nil {
+			if e.wants(trace.UploadEnd) {
 				e.tracer.Emit(trace.Event{
 					Type: trace.UploadEnd, T: at,
 					JobID: js.j.ID, Seq: js.seq, Link: "upload", Bytes: it.Bytes, BW: bw,
@@ -463,7 +475,7 @@ func (e *Engine) submitEC(js *jobState) {
 func (e *Engine) submitDownload(js *jobState, at float64) {
 	js.downloading = true
 	js.computeDone = at
-	if e.tracer != nil {
+	if e.wants(trace.DownloadStart) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.DownloadStart, T: at,
 			JobID: js.j.ID, Seq: js.seq, Link: "download", Bytes: js.j.OutputSize,
@@ -474,7 +486,7 @@ func (e *Engine) submitDownload(js *jobState, at float64) {
 		Meta:  js,
 		OnDone: func(doneAt float64, it *netsim.QueueItem, bw float64) {
 			e.downloadedBytes += it.Bytes
-			if e.tracer != nil {
+			if e.wants(trace.DownloadEnd) {
 				e.tracer.Emit(trace.Event{
 					Type: trace.DownloadEnd, T: doneAt,
 					JobID: js.j.ID, Seq: js.seq, Link: "download", Bytes: it.Bytes, BW: bw,
@@ -541,7 +553,7 @@ func (e *Engine) complete(js *jobState, at float64, where sla.Where) {
 		CompletedAt: at,
 		Where:       where,
 	})
-	if e.tracer != nil {
+	if e.wants(trace.JobDelivered) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.JobDelivered, T: at,
 			JobID: js.j.ID, Seq: js.seq, Batch: js.j.BatchID,
@@ -586,7 +598,7 @@ func (e *Engine) resultFrom(tseq float64, originalJobs int) *Result {
 		UploadedBytes:         e.uploadedBytes,
 		DownloadedBytes:       e.downloadedBytes,
 		FinalThreads:          e.upTuner.Threads(),
-		QRSMR2:                e.estimator.GlobalModel().R2(),
+		QRSMR2:                e.estimator.GlobalModel().SettledR2(),
 		PredictorObservations: e.upPred.Observations(),
 		ECRevocations:         e.ec.Revoked(),
 		TransferStalls:        e.stalls,

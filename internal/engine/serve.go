@@ -321,6 +321,7 @@ func Serve(ctx context.Context, cfg Config, s sched.Scheduler, src workload.Sour
 	// (busy machines, the OO prefix, open transfers) must span a restore
 	// cut, so they re-watch the replayed prefix.
 	e.tracer = trace.Multi(srv.col, sc.Observer, srv.gate)
+	e.compileMask()
 	e.build()
 	if cfg.Autoscale != nil {
 		scaler, err := startAutoscaler(e, *cfg.Autoscale)

@@ -147,7 +147,7 @@ func (e *Engine) submitUploadSite(js *jobState, s *ecSite) {
 	js.scheduledAt = e.eng.Now()
 	s.bursts++
 	link := fmt.Sprintf("upload%d", js.site)
-	if e.tracer != nil {
+	if e.wants(trace.UploadStart) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.UploadStart, T: js.scheduledAt,
 			JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: js.j.InputSize,
@@ -160,7 +160,7 @@ func (e *Engine) submitUploadSite(js *jobState, s *ecSite) {
 			js.uploadItem = nil
 			js.uploadDone = at
 			e.uploadedBytes += it.Bytes
-			if e.tracer != nil {
+			if e.wants(trace.UploadEnd) {
 				e.tracer.Emit(trace.Event{
 					Type: trace.UploadEnd, T: at,
 					JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: it.Bytes, BW: bw,
@@ -188,7 +188,7 @@ func (e *Engine) submitDownloadSite(js *jobState, s *ecSite, at float64) {
 	js.downloading = true
 	js.computeDone = at
 	link := fmt.Sprintf("download%d", js.site)
-	if e.tracer != nil {
+	if e.wants(trace.DownloadStart) {
 		e.tracer.Emit(trace.Event{
 			Type: trace.DownloadStart, T: at,
 			JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: js.j.OutputSize,
@@ -199,7 +199,7 @@ func (e *Engine) submitDownloadSite(js *jobState, s *ecSite, at float64) {
 		Meta:  js,
 		OnDone: func(doneAt float64, it *netsim.QueueItem, bw float64) {
 			e.downloadedBytes += it.Bytes
-			if e.tracer != nil {
+			if e.wants(trace.DownloadEnd) {
 				e.tracer.Emit(trace.Event{
 					Type: trace.DownloadEnd, T: doneAt,
 					JobID: js.j.ID, Seq: js.seq, Site: js.site, Link: link, Bytes: it.Bytes, BW: bw,

@@ -115,6 +115,21 @@ func (c *Checker) job(id int) *jobInfo {
 	return ji
 }
 
+// InterestMask declares the event types the checker inspects, letting the
+// engine's dispatch mask skip materializing everything else when only the
+// checker listens. The monotonic-clock check then observes only these
+// types, which cannot weaken it: every invariant the checker enforces is
+// defined over this set. (Direct Emit calls — the seeded-violation tests —
+// are unaffected; the mask gates the emitter, not the sink.)
+func (c *Checker) InterestMask() trace.Mask {
+	return trace.MaskOf(
+		trace.RunConfigured, trace.JobArrived, trace.Chunked,
+		trace.PlacementDecided, trace.JobRetried, trace.UploadStart,
+		trace.TransferAborted, trace.UploadEnd, trace.DownloadEnd,
+		trace.ComputeStart, trace.ComputeEnd, trace.JobDelivered,
+	)
+}
+
 // Emit implements trace.Tracer.
 func (c *Checker) Emit(ev trace.Event) {
 	// Clock monotonicity. Outage detection is documented as lazy: those two

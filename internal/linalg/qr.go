@@ -50,7 +50,14 @@ func NewQR(a *Matrix) *QR {
 // it can neither read nor produce nonzeros past it. Truncating the loops
 // there only drops terms that multiply exact zeros.
 func newQRColMajor(buf []float64, m, n, band int) *QR {
-	rd := make([]float64, n)
+	q := &QR{a: buf, rd: make([]float64, n), m: m, n: n, band: band}
+	q.factor()
+	return q
+}
+
+// factor runs the Householder sweep over q.a, filling q.rd.
+func (q *QR) factor() {
+	buf, rd, m, n, band := q.a, q.rd, q.m, q.n, q.band
 	for k := 0; k < n; k++ {
 		ck := buf[k*m : (k+1)*m]
 		hi := band + k + 1 // one past the last structurally nonzero row
@@ -86,7 +93,6 @@ func newQRColMajor(buf []float64, m, n, band int) *QR {
 		}
 		rd[k] = -nrm
 	}
-	return &QR{a: buf, rd: rd, m: m, n: n, band: band}
 }
 
 // FullRank reports whether R has no (near-)zero diagonal entries relative to
@@ -113,13 +119,23 @@ func (q *QR) FullRank() bool {
 // Solve returns the least-squares solution x minimizing ||A*x - b||₂.
 // b must have length m. It returns ErrSingular for rank-deficient A.
 func (q *QR) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, q.n)
+	if err := q.solveInto(b, make([]float64, q.m), x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveInto is Solve with caller-provided scratch: y (length m) holds the
+// transformed right-hand side, x (length n) receives the solution. The
+// arithmetic is identical to Solve — the buffers are fully overwritten.
+func (q *QR) solveInto(b, y, x []float64) error {
 	if len(b) != q.m {
 		panic(fmt.Sprintf("linalg: QR solve rhs length %d, want %d", len(b), q.m))
 	}
 	if !q.FullRank() {
-		return nil, ErrSingular
+		return ErrSingular
 	}
-	y := make([]float64, q.m)
 	copy(y, b)
 	// Apply Qᵀ to b. Each reflector's support ends at the band limit, so
 	// the loops stop there (the skipped products are exactly zero).
@@ -142,7 +158,6 @@ func (q *QR) Solve(b []float64) ([]float64, error) {
 		}
 	}
 	// Back-substitute R*x = y[:n].
-	x := make([]float64, q.n)
 	for k := q.n - 1; k >= 0; k-- {
 		s := y[k]
 		for j := k + 1; j < q.n; j++ {
@@ -150,7 +165,7 @@ func (q *QR) Solve(b []float64) ([]float64, error) {
 		}
 		x[k] = s / q.rd[k]
 	}
-	return x, nil
+	return nil
 }
 
 // LeastSquares solves min ||A*x − b||₂ by QR. For rank-deficient systems it
@@ -186,6 +201,70 @@ func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error
 	rhs := make([]float64, rows)
 	copy(rhs, b)
 	return newQRColMajor(buf, rows, n, m).Solve(rhs)
+}
+
+// Workspace holds the scratch buffers for repeated ridge solves, so a model
+// refitting in a loop allocates nothing once the buffers reach their
+// high-water capacity. The zero value is ready to use. A Workspace is not
+// safe for concurrent use; each fitting goroutine needs its own.
+type Workspace struct {
+	buf []float64 // column-major augmented design matrix
+	rd  []float64 // R diagonal
+	y   []float64 // transformed rhs
+	x   []float64 // solution
+}
+
+// growF returns s with length n, reusing its backing array when capacity
+// allows. Contents are unspecified; callers overwrite every element.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// RidgeLeastSquares is RidgeLeastSquares using the workspace's buffers. The
+// returned solution aliases the workspace and is valid until the next call
+// — callers that retain it must copy. Values and evaluation order match the
+// package-level function exactly, so results are bit-identical.
+func (ws *Workspace) RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		panic("linalg: negative ridge lambda")
+	}
+	if lambda == 0 {
+		return LeastSquares(a, b)
+	}
+	m, n := a.Rows, a.Cols
+	rows := m + n
+	ws.buf = growF(ws.buf, rows*n)
+	s := math.Sqrt(lambda)
+	for j := 0; j < n; j++ {
+		cj := ws.buf[j*rows : (j+1)*rows]
+		for i := 0; i < m; i++ {
+			cj[i] = a.Data[i*n+j]
+		}
+		// The augmented tail is sqrt(lambda) on the diagonal and exact zeros
+		// elsewhere; a reused buffer carries stale values, so write them.
+		for i := m; i < rows; i++ {
+			cj[i] = 0
+		}
+		cj[m+j] = s
+	}
+	ws.rd = growF(ws.rd, n)
+	ws.y = growF(ws.y, rows)
+	ws.x = growF(ws.x, n)
+	q := QR{a: ws.buf, rd: ws.rd, m: rows, n: n, band: m}
+	q.factor()
+	// Assemble the augmented rhs [b; 0] directly in y (solveInto's copy of
+	// an aliased b/y is a no-op).
+	copy(ws.y, b)
+	for i := len(b); i < rows; i++ {
+		ws.y[i] = 0
+	}
+	if err := q.solveInto(ws.y, ws.y, ws.x); err != nil {
+		return nil, err
+	}
+	return ws.x, nil
 }
 
 // SolveSquare solves the square system A*x = b via QR (stable for the small

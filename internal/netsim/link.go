@@ -3,7 +3,6 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"cloudburst/internal/sim"
 	"cloudburst/internal/stats"
@@ -313,9 +312,22 @@ func (l *Link) waterFill() {
 		}
 		order = append(order, tr)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		return l.threads.Limit(order[i].Threads) < l.threads.Limit(order[j].Threads)
-	})
+	// Insertion sort on the thread limit. A link rarely carries more than a
+	// handful of concurrent transfers, where insertion sort beats sort.Slice
+	// and — unlike it — allocates no closure. The resulting rate assignment
+	// is identical under any sort: ties on the limit receive equal rates in
+	// the max-min fill (equal caps at adjacent positions yield equal
+	// min(share, lim)), so the permutation among equals is unobservable.
+	for i := 1; i < len(order); i++ {
+		tr := order[i]
+		lim := l.threads.Limit(tr.Threads)
+		j := i - 1
+		for j >= 0 && lim < l.threads.Limit(order[j].Threads) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = tr
+	}
 	n := len(order)
 	for i, tr := range order {
 		share := capLeft / float64(n-i)

@@ -55,6 +55,8 @@ type Queue struct {
 
 	completed  int
 	bytesMoved int64
+
+	doneCb func(at float64, tr *Transfer) // prebound completion callback
 }
 
 // NewQueue creates a queue on link. If tuner is nil, transfers use
@@ -63,7 +65,9 @@ func NewQueue(eng *sim.Engine, name string, link *Link, tuner *Tuner, fixedThrea
 	if fixedThreads < 1 {
 		fixedThreads = 1
 	}
-	return &Queue{Name: name, eng: eng, link: link, tuner: tuner, fixedThreads: fixedThreads}
+	q := &Queue{Name: name, eng: eng, link: link, tuner: tuner, fixedThreads: fixedThreads}
+	q.doneCb = q.transferDone
+	return q
 }
 
 // Enqueue appends an item and starts it immediately if the queue is idle.
@@ -90,31 +94,40 @@ func (q *Queue) startNext() {
 	it := q.items[0]
 	q.items = q.items[1:]
 	q.current = it
-	q.currentTr = q.link.Start(q.Name, it.Bytes, q.threads(), func(at float64, tr *Transfer) {
-		q.cancelStallTimers()
-		q.current = nil
-		q.currentTr = nil
-		q.completed++
-		q.bytesMoved += it.Bytes
-		bw := tr.AchievedBW(at)
-		if q.tuner != nil {
-			q.tuner.Observe(at, bw)
-		}
-		if q.OnMeasure != nil {
-			q.OnMeasure(at, tr.PathBW(at))
-		}
-		if it.OnDone != nil {
-			it.OnDone(at, it, bw)
-		}
-		q.startNext()
-		if q.current == nil && len(q.items) == 0 && q.OnIdle != nil {
-			q.OnIdle(q)
-		}
-	})
+	q.currentTr = q.link.Start(q.Name, it.Bytes, q.threads(), q.doneCb)
 	if q.stallRNG != nil {
 		// One draw per transfer: exponential time-to-stall. The timer is
 		// cancelled if the transfer completes first.
 		q.stallTm = q.eng.TimerAfter(q.stallRNG.Exponential(q.stallModel.MeanTimeBetween), q.stallFired, it)
+	}
+}
+
+// transferDone is the prebound completion callback shared by every transfer
+// the queue starts. Using one method value instead of a per-transfer closure
+// keeps steady-state queue turnover allocation-free. The in-flight item is
+// always q.current when the link reports completion: abortFired removes a
+// killed transfer from the link before clearing q.current, so a stale
+// onDone can never fire, and StealHead never touches the in-flight item.
+func (q *Queue) transferDone(at float64, tr *Transfer) {
+	it := q.current
+	q.cancelStallTimers()
+	q.current = nil
+	q.currentTr = nil
+	q.completed++
+	q.bytesMoved += it.Bytes
+	bw := tr.AchievedBW(at)
+	if q.tuner != nil {
+		q.tuner.Observe(at, bw)
+	}
+	if q.OnMeasure != nil {
+		q.OnMeasure(at, tr.PathBW(at))
+	}
+	if it.OnDone != nil {
+		it.OnDone(at, it, bw)
+	}
+	q.startNext()
+	if q.current == nil && len(q.items) == 0 && q.OnIdle != nil {
+		q.OnIdle(q)
 	}
 }
 

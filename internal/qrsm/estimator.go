@@ -97,13 +97,52 @@ func (e *Estimator) Observe(f job.Features, seconds float64) {
 
 // Refit refits every model that has enough samples. Fit errors (too few
 // samples) are expected early on and simply leave the previous fit active.
+//
+// The fits are requested, not computed: each model materializes its fit on
+// the next consultation (RequestFit), so back-to-back refit cadences with
+// no intervening Estimate collapse into the one factorization an eager
+// caller would actually have observed. The Version contract is unchanged —
+// Estimate remains a pure function of (features, Version) — because the
+// deferred fit covers exactly the window snapshotted at request time.
 func (e *Estimator) Refit() {
 	e.sinceRefit = 0
 	e.version++
-	_ = e.global.Fit()
+	e.global.RequestFit()
 	for _, m := range e.perClass {
-		_ = m.Fit()
+		m.RequestFit()
 	}
+}
+
+// Materialize forces every deferred fit to run now. Callers that cache a
+// bootstrapped estimator as a prototype use this to pay the bootstrap
+// factorizations once instead of once per clone.
+func (e *Estimator) Materialize() {
+	e.global.materialize()
+	for _, m := range e.perClass {
+		m.materialize()
+	}
+}
+
+// CloneInto deep-copies the estimator's semantic state into dst, reusing
+// dst's model slabs where capacity allows, and returns dst (allocating one
+// when nil). The clone shares no mutable state with the receiver.
+func (e *Estimator) CloneInto(dst *Estimator) *Estimator {
+	if dst == nil {
+		dst = &Estimator{}
+	}
+	dst.global = e.global.CloneInto(dst.global)
+	if len(dst.perClass) != len(e.perClass) {
+		dst.perClass = make([]*Model, len(e.perClass))
+	}
+	for i, m := range e.perClass {
+		dst.perClass[i] = m.CloneInto(dst.perClass[i])
+	}
+	dst.floor = e.floor
+	dst.fallbackMB = e.fallbackMB
+	dst.refitEvery = e.refitEvery
+	dst.sinceRefit = e.sinceRefit
+	dst.version = e.version
+	return dst
 }
 
 // Bootstrap seeds the estimator from a standard production dataset — the

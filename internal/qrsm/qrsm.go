@@ -40,7 +40,10 @@ type Model struct {
 	lambda     float64
 	maxSamples int
 
-	xs [][]float64
+	// Training pairs. Feature vectors are stored flat (sample i occupies
+	// xd[i*dim : (i+1)*dim]): one slab grown amortized instead of one copy
+	// allocation per Observe, and the fit loops scan contiguously.
+	xd []float64
 	ys []float64
 
 	fitted bool
@@ -56,13 +59,23 @@ type Model struct {
 	// factorization and replays its outcome. This makes the estimator's
 	// periodic "refit everything" cadence cheap for quiet per-class models.
 	dirty      bool
-	fitDone    bool // at least one Fit attempt over the current window
+	fitDone    bool // at least one fit attempt since construction
+	fitN       int  // samples covered by the last fit attempt
 	lastFitErr error
+
+	// Deferred-fit state (RequestFit): a requested fit is only materialized
+	// when an accessor can observe its outcome. pendingN snapshots the
+	// window length at request time so the materialized fit reproduces the
+	// eager fit bit for bit even if observations arrived since.
+	pending  bool
+	pendingN int
 
 	// Scratch reused across Fit/Predict calls; the model is single-threaded
 	// by design (Observe already mutates shared state), so this is safe.
 	zbuf []float64 // standardized features
 	bbuf []float64 // expanded basis row
+	abuf []float64 // row-major design matrix backing
+	ws   linalg.Workspace
 }
 
 // Option configures a Model.
@@ -99,13 +112,17 @@ func (m *Model) Dim() int { return m.dim }
 func (m *Model) NumSamples() int { return len(m.ys) }
 
 // Fitted reports whether a successful Fit has run.
-func (m *Model) Fitted() bool { return m.fitted }
+func (m *Model) Fitted() bool {
+	m.materialize()
+	return m.fitted
+}
 
 // WellDetermined reports whether the current training window holds at
 // least twice as many samples as basis terms. A fit that merely satisfies
 // n ≥ p interpolates its data and extrapolates wildly; callers choosing
 // between models should prefer well-determined ones.
 func (m *Model) WellDetermined() bool {
+	m.materialize()
 	return m.fitted && len(m.ys) >= 2*BasisSize(m.dim)
 }
 
@@ -114,14 +131,21 @@ func (m *Model) Observe(x []float64, y float64) {
 	if len(x) != m.dim {
 		panic(fmt.Sprintf("qrsm: observation dim %d, want %d", len(x), m.dim))
 	}
-	m.xs = append(m.xs, append([]float64(nil), x...))
+	m.xd = append(m.xd, x...)
 	m.ys = append(m.ys, y)
 	if m.maxSamples > 0 && len(m.ys) > m.maxSamples {
+		// Copy down instead of reslicing so the backing arrays stop growing
+		// once the window is full.
 		drop := len(m.ys) - m.maxSamples
-		m.xs = m.xs[drop:]
-		m.ys = m.ys[drop:]
+		m.xd = m.xd[:copy(m.xd, m.xd[drop*m.dim:])]
+		m.ys = m.ys[:copy(m.ys, m.ys[drop:])]
 	}
 	m.dirty = true
+}
+
+// sample returns the i-th retained feature vector (a view into the slab).
+func (m *Model) sample(i int) []float64 {
+	return m.xd[i*m.dim : (i+1)*m.dim]
 }
 
 // basisInto expands a standardized feature vector into the quadratic basis,
@@ -164,21 +188,65 @@ func (m *Model) scratch() ([]float64, []float64) {
 // Fit solves for the coefficients over all retained observations. It
 // requires at least BasisSize(dim) samples.
 func (m *Model) Fit() error {
+	m.pending = false
 	if !m.dirty && m.fitDone {
 		// Unchanged training window: the factorization would reproduce the
 		// previous coefficients (and error) bit for bit. Replay the outcome.
 		return m.lastFitErr
 	}
-	err := m.fit()
+	err := m.fit(len(m.ys))
 	m.dirty = false
 	m.fitDone = true
+	m.fitN = len(m.ys)
 	m.lastFitErr = err
 	return err
 }
 
-func (m *Model) fit() error {
+// RequestFit schedules a fit over the current training window without
+// paying for the factorization now: the fit materializes lazily on the
+// first accessor that could observe its outcome (Fitted, WellDetermined,
+// Predict, PredictClamped, R2, RMSE, Coefficients, or Fit). Requests
+// between two consultations collapse into the latest one — exactly the
+// fits an eager caller would have computed and then overwritten — which is
+// what makes a fixed refit cadence nearly free for models that are rarely
+// consulted. The window length is snapshotted at request time, so the
+// deferred fit covers precisely the samples an eager fit would have seen.
+//
+// Windowed models (WithWindow) fit eagerly instead: once the window
+// slides, the snapshot this request names could no longer be reconstructed.
+func (m *Model) RequestFit() {
+	if m.maxSamples > 0 {
+		_ = m.Fit()
+		return
+	}
+	m.pending = true
+	m.pendingN = len(m.ys)
+}
+
+// materialize runs a deferred RequestFit, if one is outstanding.
+func (m *Model) materialize() {
+	if !m.pending {
+		return
+	}
+	m.pending = false
+	n := m.pendingN
+	if m.fitDone && n == m.fitN {
+		// The append-only window at length n is the window the last fit
+		// attempt saw; refitting would replay the same outcome bit for bit.
+		m.dirty = len(m.ys) > n
+		return
+	}
+	m.lastFitErr = m.fit(n)
+	m.fitDone = true
+	m.fitN = n
+	// Samples observed after the snapshot still await a future fit.
+	m.dirty = len(m.ys) > n
+}
+
+// fit solves over the first n retained observations (the full window for
+// eager fits, the request-time snapshot for deferred ones).
+func (m *Model) fit(n int) error {
 	p := BasisSize(m.dim)
-	n := len(m.ys)
 	if n < p {
 		return fmt.Errorf("%w: have %d, need %d", ErrTooFewSamples, n, p)
 	}
@@ -189,13 +257,13 @@ func (m *Model) fit() error {
 	}
 	for j := 0; j < m.dim; j++ {
 		var s float64
-		for _, x := range m.xs {
-			s += x[j]
+		for i := 0; i < n; i++ {
+			s += m.xd[i*m.dim+j]
 		}
 		m.mean[j] = s / float64(n)
 		var v float64
-		for _, x := range m.xs {
-			d := x[j] - m.mean[j]
+		for i := 0; i < n; i++ {
+			d := m.xd[i*m.dim+j] - m.mean[j]
 			v += d * d
 		}
 		m.scale[j] = math.Sqrt(v / float64(n))
@@ -204,30 +272,36 @@ func (m *Model) fit() error {
 		}
 	}
 	z, _ := m.scratch()
-	a := linalg.NewMatrix(n, p)
-	for i, x := range m.xs {
-		m.standardizeInto(x, z)
+	if cap(m.abuf) < n*p {
+		m.abuf = make([]float64, n*p)
+	}
+	a := &linalg.Matrix{Rows: n, Cols: p, Data: m.abuf[:n*p]}
+	for i := 0; i < n; i++ {
+		m.standardizeInto(m.sample(i), z)
 		basisInto(z, a.Data[i*p:(i+1)*p])
 	}
-	coef, err := linalg.RidgeLeastSquares(a, m.ys, m.lambda)
+	coef, err := m.ws.RidgeLeastSquares(a, m.ys[:n], m.lambda)
 	if err != nil {
 		return fmt.Errorf("qrsm: fit failed: %w", err)
 	}
-	m.coef = coef
+	m.coef = append(m.coef[:0], coef...) // the workspace owns coef's backing
 	m.fitted = true
-	m.computeDiagnostics()
+	m.computeDiagnostics(n)
 	return nil
 }
 
-func (m *Model) computeDiagnostics() {
-	n := len(m.ys)
+// computeDiagnostics evaluates R² and RMSE over the n samples just fit.
+func (m *Model) computeDiagnostics(n int) {
 	var sse, sst, meanY float64
-	for _, y := range m.ys {
+	for _, y := range m.ys[:n] {
 		meanY += y
 	}
 	meanY /= float64(n)
-	for i, x := range m.xs {
-		pred, _ := m.Predict(x)
+	z, b := m.scratch()
+	for i := 0; i < n; i++ {
+		m.standardizeInto(m.sample(i), z)
+		basisInto(z, b)
+		pred := linalg.Dot(b, m.coef)
 		d := m.ys[i] - pred
 		sse += d * d
 		dy := m.ys[i] - meanY
@@ -244,6 +318,7 @@ func (m *Model) computeDiagnostics() {
 // Predict evaluates the fitted surface at x. Like Observe/Fit it is not
 // safe for concurrent use.
 func (m *Model) Predict(x []float64) (float64, error) {
+	m.materialize()
 	if !m.fitted {
 		return 0, ErrNotFitted
 	}
@@ -269,13 +344,56 @@ func (m *Model) PredictClamped(x []float64, floor float64) float64 {
 
 // R2 returns the coefficient of determination on the training window
 // (meaningful only after Fit).
-func (m *Model) R2() float64 { return m.r2 }
+func (m *Model) R2() float64 {
+	m.materialize()
+	return m.r2
+}
+
+// SettledR2 returns the R² of the most recently materialized fit without
+// forcing a pending deferred fit to run. It reflects the model state that
+// actually served predictions — a fit that was requested but never
+// consulted does not exist yet, and a diagnostics reader should not be the
+// one to pay for its factorization.
+func (m *Model) SettledR2() float64 { return m.r2 }
 
 // RMSE returns the root-mean-square training error (after Fit).
-func (m *Model) RMSE() float64 { return m.rmse }
+func (m *Model) RMSE() float64 {
+	m.materialize()
+	return m.rmse
+}
 
 // Coefficients returns a copy of the fitted basis coefficients in the order
 // [intercept, linear..., interactions..., squares...].
 func (m *Model) Coefficients() []float64 {
+	m.materialize()
 	return append([]float64(nil), m.coef...)
+}
+
+// CloneInto copies the model's semantic state — training window, fit
+// results, deferred-fit bookkeeping — into dst, reusing dst's slabs where
+// capacity allows, and returns dst (allocating one when nil). Scratch
+// buffers are not copied; the clone lazily grows its own. Cloning a fitted
+// prototype is how the engine arena avoids re-running the bootstrap fit for
+// every pooled run.
+func (m *Model) CloneInto(dst *Model) *Model {
+	if dst == nil {
+		dst = &Model{}
+	}
+	dst.dim, dst.lambda, dst.maxSamples = m.dim, m.lambda, m.maxSamples
+	dst.xd = append(dst.xd[:0], m.xd...)
+	dst.ys = append(dst.ys[:0], m.ys...)
+	dst.fitted = m.fitted
+	if m.mean == nil {
+		// fit's nil check allocates mean/scale as a sized pair.
+		dst.mean, dst.scale = nil, nil
+	} else {
+		dst.mean = append(dst.mean[:0], m.mean...)
+		dst.scale = append(dst.scale[:0], m.scale...)
+	}
+	dst.coef = append(dst.coef[:0], m.coef...)
+	dst.r2, dst.rmse = m.r2, m.rmse
+	dst.dirty, dst.fitDone, dst.fitN = m.dirty, m.fitDone, m.fitN
+	dst.lastFitErr = m.lastFitErr
+	dst.pending, dst.pendingN = m.pending, m.pendingN
+	return dst
 }

@@ -169,8 +169,8 @@ func TestWindowDropsOldSamples(t *testing.T) {
 		t.Fatalf("NumSamples = %d, want 10", m.NumSamples())
 	}
 	// The retained samples must be the newest ones (15..24).
-	if m.xs[0][0] != 15 {
-		t.Fatalf("oldest retained = %v, want 15", m.xs[0][0])
+	if m.sample(0)[0] != 15 {
+		t.Fatalf("oldest retained = %v, want 15", m.sample(0)[0])
 	}
 }
 

@@ -58,6 +58,27 @@ func TestTickerAllocs(t *testing.T) {
 	}
 }
 
+func TestResetReuseAllocs(t *testing.T) {
+	// Arena reuse rests on Reset returning every pooled node to the free
+	// list and keeping the queue's backing array: a full
+	// Reset→schedule→drain cycle on a warm engine must allocate nothing.
+	e := NewEngine()
+	cb := func(now float64, arg any) {}
+	cycle := func() {
+		e.Reset()
+		for i := 0; i < 64; i++ {
+			e.CallAfter(float64(i), cb, nil)
+		}
+		for e.Step() {
+		}
+	}
+	cycle() // warm: grow queue and free list to steady-state size
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs != 0 {
+		t.Errorf("warm Reset+schedule+drain cycle allocates %v/op, want 0", allocs)
+	}
+}
+
 func TestLegacyScheduleAllocBudget(t *testing.T) {
 	e := NewEngine()
 	fired := 0

@@ -2,7 +2,6 @@ package sla
 
 import (
 	"fmt"
-	"math"
 
 	"cloudburst/internal/stats"
 )
@@ -55,16 +54,7 @@ func (s *Set) OOSeries(interval float64, tol int, name string) *stats.TimeSeries
 	if len(s.records) == 0 {
 		return ts
 	}
-	start := math.Inf(1)
-	end := math.Inf(-1)
-	for _, r := range s.records {
-		if r.ArrivalTime < start {
-			start = r.ArrivalTime
-		}
-		if r.CompletedAt > end {
-			end = r.CompletedAt
-		}
-	}
+	start, end := s.minArrival, s.maxDone
 	for t := start; t <= end+interval; t += interval {
 		_, ot := s.OOAt(t, tol)
 		ts.Append(t, float64(ot))
@@ -140,13 +130,9 @@ func (s *Set) ValleyCount() int {
 // in order at time t with the given tolerance — a normalized OO metric for
 // cross-run comparison.
 func (s *Set) OrderedFractionAt(t float64, tol int) float64 {
-	var total int64
-	for _, r := range s.records {
-		total += r.OutputSize
-	}
-	if total == 0 {
+	if s.totalOutput == 0 {
 		return 0
 	}
 	_, ot := s.OOAt(t, tol)
-	return float64(ot) / float64(total)
+	return float64(ot) / float64(s.totalOutput)
 }

@@ -9,8 +9,9 @@
 package sla
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Where identifies the cloud that processed a job.
@@ -52,6 +53,16 @@ type Set struct {
 	// Add and rebuilt at most once per mutation.
 	sorted []Record
 	dirty  bool
+
+	// Scalar metrics fold in as records arrive, so Makespan, BurstRatio and
+	// MeanFlowTime are O(1) at read time instead of re-walking the set. The
+	// accumulators mirror the summation order of the loops they replace
+	// (insertion order), so the floating-point results are bit-identical.
+	minArrival  float64
+	maxDone     float64
+	ecCount     int
+	flowSum     float64 // Σ (CompletedAt − ArrivalTime), insertion order
+	totalOutput int64
 }
 
 // NewSet returns an empty record set.
@@ -89,6 +100,17 @@ func (s *Set) Add(r Record) error {
 		return &RecordError{Seq: r.Seq, Field: "CompletedAt", Value: r.CompletedAt,
 			Reason: fmt.Sprintf("precedes arrival %v", r.ArrivalTime)}
 	}
+	if len(s.records) == 0 || r.ArrivalTime < s.minArrival {
+		s.minArrival = r.ArrivalTime
+	}
+	if len(s.records) == 0 || r.CompletedAt > s.maxDone {
+		s.maxDone = r.CompletedAt
+	}
+	if r.Where == EC {
+		s.ecCount++
+	}
+	s.flowSum += r.CompletedAt - r.ArrivalTime
+	s.totalOutput += r.OutputSize
 	s.records = append(s.records, r)
 	s.seen[r.Seq] = struct{}{}
 	s.dirty = true
@@ -112,7 +134,10 @@ func (s *Set) Len() int { return len(s.records) }
 func (s *Set) sortedRecords() []Record {
 	if s.dirty || (s.sorted == nil && len(s.records) > 0) {
 		s.sorted = append(s.sorted[:0], s.records...)
-		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].Seq < s.sorted[j].Seq })
+		// Seqs are unique (Add rejects duplicates), so the unstable sort is
+		// fully determined; SortFunc avoids sort.Slice's reflect.Swapper
+		// allocations, keeping warm refills allocation-free.
+		slices.SortFunc(s.sorted, func(a, b Record) int { return cmp.Compare(a.Seq, b.Seq) })
 		s.dirty = false
 	}
 	return s.sorted
@@ -128,17 +153,7 @@ func (s *Set) Makespan() float64 {
 	if len(s.records) == 0 {
 		return 0
 	}
-	minArr := s.records[0].ArrivalTime
-	maxDone := s.records[0].CompletedAt
-	for _, r := range s.records[1:] {
-		if r.ArrivalTime < minArr {
-			minArr = r.ArrivalTime
-		}
-		if r.CompletedAt > maxDone {
-			maxDone = r.CompletedAt
-		}
-	}
-	return maxDone - minArr
+	return s.maxDone - s.minArrival
 }
 
 // Speedup is eq. (10) with the ratio oriented so that bigger is better:
@@ -158,13 +173,7 @@ func (s *Set) BurstRatio() float64 {
 	if len(s.records) == 0 {
 		return 0
 	}
-	n := 0
-	for _, r := range s.records {
-		if r.Where == EC {
-			n++
-		}
-	}
-	return float64(n) / float64(len(s.records))
+	return float64(s.ecCount) / float64(len(s.records))
 }
 
 // BatchBurstRatios is eq. (11): the burst ratio of each arrival batch.
@@ -190,9 +199,20 @@ func (s *Set) MeanFlowTime() float64 {
 	if len(s.records) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, r := range s.records {
-		sum += r.CompletedAt - r.ArrivalTime
-	}
-	return sum / float64(len(s.records))
+	return s.flowSum / float64(len(s.records))
+}
+
+// Reset empties the set while retaining its backing storage (record slices,
+// map buckets), so a pooled set can be reused across runs without
+// reallocating. After Reset the set is semantically identical to NewSet().
+func (s *Set) Reset() {
+	s.records = s.records[:0]
+	clear(s.seen)
+	s.sorted = s.sorted[:0]
+	s.dirty = false
+	s.minArrival = 0
+	s.maxDone = 0
+	s.ecCount = 0
+	s.flowSum = 0
+	s.totalOutput = 0
 }

@@ -386,6 +386,28 @@ func TestBatchBurstRatiosNeverBursting(t *testing.T) {
 	}
 }
 
+// TestResetReuseAllocFree pins the pooling contract: Reset keeps the record
+// slice, the dedup map's buckets and the sorted cache, so refilling a warm
+// set — the per-run cost when an arena recycles across sweep cells — is
+// allocation-free.
+func TestResetReuseAllocFree(t *testing.T) {
+	s := NewSet()
+	fill := func() {
+		s.Reset()
+		for i := 0; i < 128; i++ {
+			if err := s.Add(rec(i, float64(i), float64(100+i), 10, IC)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.OOAt(200, 2)
+	}
+	fill() // warm: size the slices and map buckets
+	allocs := testing.AllocsPerRun(50, fill)
+	if allocs != 0 {
+		t.Fatalf("warm Reset+refill cycle allocates %v objects, want 0", allocs)
+	}
+}
+
 // TestOOAtAllocFree pins the satellite fix: OOAt must reuse the sorted cache
 // rather than re-copying and re-sorting the record set per evaluation, so a
 // warm evaluation performs zero allocations. OOSeries calls OOAt once per

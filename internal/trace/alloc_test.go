@@ -13,6 +13,54 @@ func TestMultiAllSinksNil(t *testing.T) {
 	}
 }
 
+// narrowSink consumes only probe events and says so.
+type narrowSink struct{ n int }
+
+func (s *narrowSink) Emit(ev Event)      { s.n++ }
+func (s *narrowSink) InterestMask() Mask { return MaskOf(ProbeCompleted) }
+
+func TestMaskedEmitSiteAllocs(t *testing.T) {
+	// The engine guards every emit point with mask.Has(type) before
+	// building the Event. With a narrow-interest sink attached, an
+	// unwanted event type must cost one branch: no Event construction, no
+	// interface call, no allocation.
+	sink := &narrowSink{}
+	var tr Tracer = sink
+	mask := MaskFor(tr)
+	if !mask.Has(ProbeCompleted) || mask.Has(JobDelivered) {
+		t.Fatalf("mask = %b, want only ProbeCompleted", mask)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if mask.Has(JobDelivered) { // the emit-site pattern, type not wanted
+			tr.Emit(Event{Type: JobDelivered, JobID: 1, Where: "EC"})
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("masked-off emit site allocates %v/op, want 0", allocs)
+	}
+	if sink.n != 0 {
+		t.Errorf("sink saw %d events through a masked-off site", sink.n)
+	}
+}
+
+func TestMaskFor(t *testing.T) {
+	if m := MaskFor(nil); m != 0 {
+		t.Errorf("MaskFor(nil) = %b, want 0", m)
+	}
+	if m := MaskFor(NewRecorder()); m != AllEvents() {
+		t.Errorf("MaskFor(Recorder) = %b, want AllEvents (no declared interests)", m)
+	}
+	// Multi unions its children's interests; a child without Interests
+	// widens the union to everything.
+	narrow := &narrowSink{}
+	if m := MaskFor(Multi(narrow, narrow)); m != MaskOf(ProbeCompleted) {
+		t.Errorf("MaskFor(Multi(narrow)) = %b, want ProbeCompleted only", m)
+	}
+	if m := MaskFor(Multi(narrow, NewRecorder())); m != AllEvents() {
+		t.Errorf("MaskFor(Multi(narrow, recorder)) = %b, want AllEvents", m)
+	}
+}
+
 func TestEmitAllocs(t *testing.T) {
 	ev := Event{Type: JobDelivered, JobID: 7, Where: "EC"}
 

@@ -9,11 +9,14 @@
 //     recomputes the paper's metrics without trusting the engine's own
 //     accounting.
 //
-// Performance contract: a nil Tracer disables tracing entirely. Every emit
-// point in the engine is guarded by a single nil check, so with tracing off
-// the hot path pays no event construction, no interface call, and no
-// allocation. Events are flat value structs; emitting them allocates only
-// inside sinks that retain them.
+// Performance contract: emitters compile the tracer into a Mask once per
+// run (MaskFor) and guard every emit point with a single bit test, so with
+// tracing off — or with only narrow-interest sinks attached — the hot path
+// pays no event construction, no interface call, and no allocation. A nil
+// Tracer compiles to the zero mask and disables tracing entirely; sinks
+// that consume a subset of event types declare it via Interests. Events
+// are flat value structs; emitting them allocates only inside sinks that
+// retain them.
 package trace
 
 // EventType identifies what happened.
@@ -244,4 +247,59 @@ func (m multiTracer) Emit(ev Event) {
 	for _, s := range m {
 		s.Emit(ev)
 	}
+}
+
+// InterestMask unions the interests of the fanned-out sinks.
+func (m multiTracer) InterestMask() Mask {
+	var u Mask
+	for _, s := range m {
+		u |= MaskFor(s)
+	}
+	return u
+}
+
+// Mask is a bitset over event types: bit t is set when type t is wanted.
+// Emitters test the mask before materializing an Event struct, so a sink
+// that declares a narrow interest (or no tracer at all) turns tracing into
+// a single branch on the hot path.
+type Mask uint32
+
+// Mask must have one bit per event type; this fails to compile when the
+// enum outgrows uint32.
+var _ [32 - int(numEventTypes)]struct{}
+
+// MaskOf builds a mask from explicit event types.
+func MaskOf(types ...EventType) Mask {
+	var m Mask
+	for _, t := range types {
+		m |= 1 << t
+	}
+	return m
+}
+
+// AllEvents is the mask wanting every event type — the conservative
+// default for sinks that do not declare interests.
+func AllEvents() Mask { return Mask(1)<<numEventTypes - 1 }
+
+// Has reports whether the mask wants event type t.
+func (m Mask) Has(t EventType) bool { return m&(1<<t) != 0 }
+
+// Interests is optionally implemented by Tracers that consume only a
+// subset of event types. The mask must be constant for the lifetime of the
+// tracer: emitters compile it once per run, not per event.
+type Interests interface {
+	InterestMask() Mask
+}
+
+// MaskFor compiles the dispatch mask for a tracer: zero for nil (nothing
+// listens), the declared mask for Interests implementations (including
+// Multi fan-outs, which union their sinks), and AllEvents otherwise.
+func MaskFor(t Tracer) Mask {
+	switch tr := t.(type) {
+	case nil:
+		return 0
+	case Interests:
+		return tr.InterestMask()
+	}
+	return AllEvents()
 }

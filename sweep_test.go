@@ -7,6 +7,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -148,6 +149,54 @@ func TestSweepDedupsIdenticalCells(t *testing.T) {
 	}
 	if results[0].Cell.Fingerprint != results[1].Cell.Fingerprint {
 		t.Fatal("identical cells got different fingerprints")
+	}
+}
+
+// TestSweepWorkerInvarianceWithPooledArenas pins the arena-reuse
+// concurrency contract: sweep workers draw their allocation backbone from
+// a shared arena pool, and neither the worker count nor the order arenas
+// get recycled in may leak state between cells — a serial sweep and a
+// maximally parallel one must agree on every metric to the last bit. The
+// grid carries a duplicate seed so the fingerprint-dedup path (one
+// representative execution, result copied to its twin) runs alongside the
+// pooled full executions. The CI race leg runs this test under -race,
+// where a scrub racing a reacquire would be reported even if the metrics
+// happened to survive.
+func TestSweepWorkerInvarianceWithPooledArenas(t *testing.T) {
+	spec := SweepSpec{
+		Schedulers:       []string{"Greedy", "Op", "SIBS"},
+		Buckets:          []string{"small", "large"},
+		Seeds:            []int64{1, 2, 1}, // 1 repeats: dedup in play
+		Batches:          2,
+		MeanJobsPerBatch: 5,
+	}
+	serial, err := SweepContext(context.Background(), spec, SweepConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := SweepContext(context.Background(), spec, SweepConfig{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(wide) || len(serial) != 3*2*3 {
+		t.Fatalf("cell counts: serial %d, wide %d, want 18", len(serial), len(wide))
+	}
+	deduped := 0
+	for i := range serial {
+		if serial[i].Metrics != wide[i].Metrics {
+			t.Errorf("cell %d (%s/%s seed %d): worker count changed the result\n  1 worker:  %+v\n  %d workers: %+v",
+				i, serial[i].Cell.Scheduler, serial[i].Cell.Bucket, serial[i].Cell.Seed,
+				serial[i].Metrics, runtime.GOMAXPROCS(0), wide[i].Metrics)
+		}
+		if serial[i].Cell.Fingerprint != wide[i].Cell.Fingerprint {
+			t.Errorf("cell %d: fingerprint differs across worker counts", i)
+		}
+		if wide[i].Origin == sweep.Deduped {
+			deduped++
+		}
+	}
+	if deduped != 6 {
+		t.Errorf("deduped %d cells, want 6 (the repeated seed across 3 schedulers x 2 buckets)", deduped)
 	}
 }
 
