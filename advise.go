@@ -1,0 +1,37 @@
+package cloudburst
+
+import (
+	"errors"
+
+	"cloudburst/internal/advisor"
+)
+
+// BurstAdvice is one scenario's recommendation from the burst advisor: the
+// schedulers compared, whether bursting beat the no-burst baseline, the
+// seconds saved, and the rental price of each hour saved.
+type BurstAdvice = advisor.Advice
+
+// Advise ingests a sweep resume manifest — the JSONL job-history store
+// cmd/sweep -resume maintains, one record per completed configuration —
+// groups its records into scenarios (same workload, network, fault and
+// cost regime, scheduler stripped), and recommends burst or no-burst per
+// scenario. Scenarios need at least two schedulers on record to compare;
+// sweeping with -schedulers ICOnly,Op (or more) produces directly usable
+// histories. Every failure — unreadable file, no usable entries, nothing
+// comparable — is a typed *CostError.
+func Advise(manifestPath string) ([]BurstAdvice, error) {
+	entries, err := advisor.ReadManifest(manifestPath)
+	if err != nil {
+		reason := "cannot read job history"
+		if errors.Is(err, advisor.ErrEmpty) {
+			reason = "job history holds no usable entries"
+		}
+		return nil, &CostError{Path: manifestPath, Reason: reason, Err: err}
+	}
+	advice := advisor.Advise(entries)
+	if len(advice) == 0 {
+		return nil, &CostError{Path: manifestPath,
+			Reason: "job history has no comparable scenarios (sweep at least two schedulers per configuration)"}
+	}
+	return advice, nil
+}

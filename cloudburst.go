@@ -22,6 +22,35 @@
 // The full experiment harness behind the paper's figures and tables lives
 // in internal/experiments and is exposed through cmd/experiments; the
 // benchmarks in bench_test.go regenerate every figure and table.
+//
+// # Errors
+//
+// Every failure the package returns is one of five typed errors, so
+// callers branch with errors.As instead of parsing messages:
+//
+//	var oe *cloudburst.OptionError     // an Options field outside its domain
+//	var se *cloudburst.SweepSpecError  // a structurally invalid sweep grid
+//	var ve *cloudburst.VerifyError     // invariant violations in a verified run
+//	var ke *cloudburst.CheckpointError // an unusable streaming checkpoint blob
+//	var ce *cloudburst.CostError       // a cost-analysis failure (advisor, Pareto)
+//
+//	switch _, err := cloudburst.Run(o); {
+//	case err == nil:
+//	case errors.As(err, &oe):
+//		log.Printf("fix option %s (got %v): %s", oe.Field, oe.Value, oe.Reason)
+//	case errors.As(err, &ve):
+//		log.Printf("simulation broke %d invariant(s): %s", ve.Total, ve.Violations[0])
+//	}
+//
+//	if _, err := cloudburst.Advise(manifest); err != nil {
+//		var ce *cloudburst.CostError
+//		if errors.As(err, &ce) {
+//			log.Printf("advisor cannot use %s: %s", ce.Path, ce.Reason)
+//		}
+//	}
+//
+// All message strings carry the "cloudburst:" prefix; the types, not the
+// strings, are the stable API.
 package cloudburst
 
 import (
@@ -136,6 +165,13 @@ type Options struct {
 	// to the internal cloud. Nil keeps all fault sources off.
 	Faults *FaultOptions
 
+	// Cost, when non-nil, arms the deterministic pricing model: rental
+	// billing on every external-cloud machine, prepaid per-burst
+	// commitments, and — when Cost.Budget is set — budget-gated admission
+	// in the bursting schedulers. Nil keeps cost accounting off and the
+	// run's trace bit-identical to earlier releases.
+	Cost *CostOptions
+
 	// Reporting.
 	OOToleranceJobs  int     // tolerance t_l for the OO metric (default 0)
 	OOSampleInterval float64 // seconds between OO samples (default 120)
@@ -163,6 +199,10 @@ type ECSiteSpec struct {
 	UploadMeanBW   float64 // bytes/sec, default 600 kB/s
 	DownloadMeanBW float64 // bytes/sec, default 900 kB/s
 	JitterCV       float64 // default: the run's JitterCV
+	// OnDemandRate overrides Cost.OnDemandRate for this site's machines
+	// ($/machine-hour); 0 inherits it. Ignored while Cost is nil. Extra
+	// sites are never spot-priced — the revocation model is primary-only.
+	OnDemandRate float64
 }
 
 // Normalize returns a copy of the options with every default made explicit:
@@ -244,6 +284,10 @@ func (o Options) Normalize() Options {
 		f := o.Faults.normalize()
 		o.Faults = &f
 	}
+	if o.Cost != nil {
+		c := o.Cost.normalize()
+		o.Cost = &c
+	}
 	return o
 }
 
@@ -309,10 +353,17 @@ func (o Options) validate() error {
 			return optErr(fmt.Sprintf("ExtraECSites[%d].DownloadMeanBW", i), s.DownloadMeanBW, "must not be negative")
 		case s.JitterCV < 0:
 			return optErr(fmt.Sprintf("ExtraECSites[%d].JitterCV", i), s.JitterCV, "must not be negative")
+		case s.OnDemandRate < 0:
+			return optErr(fmt.Sprintf("ExtraECSites[%d].OnDemandRate", i), s.OnDemandRate, "must not be negative")
 		}
 	}
 	if o.Faults != nil {
 		if err := o.Faults.validate(); err != nil {
+			return err
+		}
+	}
+	if o.Cost != nil {
+		if err := o.Cost.validate(); err != nil {
 			return err
 		}
 	}
@@ -382,8 +433,9 @@ func (o Options) engineConfig() engine.Config {
 	}
 	for _, site := range o.ExtraECSites {
 		rc := engine.RemoteSiteConfig{
-			Machines: site.Machines,
-			JitterCV: site.JitterCV,
+			Machines:     site.Machines,
+			JitterCV:     site.JitterCV,
+			OnDemandRate: site.OnDemandRate,
 		}
 		if site.UploadMeanBW > 0 {
 			rc.UploadProfile = netsim.DiurnalProfile(site.UploadMeanBW, amp)
@@ -406,6 +458,9 @@ func (o Options) engineConfig() engine.Config {
 	}
 	if o.Faults != nil {
 		cfg.Faults = o.Faults.engineConfig()
+	}
+	if o.Cost != nil {
+		cfg.Cost = o.Cost.engineConfig(o.Faults != nil && o.Faults.ECRevocationMTBF > 0)
 	}
 	return cfg
 }

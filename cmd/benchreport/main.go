@@ -160,6 +160,9 @@ func compare(base, cand *Report, nsTol, allocsTol float64, out io.Writer) []stri
 			if c.AllocsPerOp != nil {
 				fmt.Fprintf(out, " %10.0f allocs/op", *c.AllocsPerOp)
 			}
+			for _, unit := range extraUnits(Benchmark{}, c) {
+				fmt.Fprintf(out, " %10.4g %s", c.Extra[unit], unit)
+			}
 			fmt.Fprintln(out)
 			continue
 		}
@@ -197,8 +200,47 @@ func compare(base, cand *Report, nsTol, allocsTol float64, out io.Writer) []stri
 			}
 			fmt.Fprintf(out, "%-9s %-40s %-9s not measured in %s\n", "skipped", c.Name, "allocs/op", side)
 		}
+		// Custom b.ReportMetric units (e.g. "cells/sec") are informational:
+		// their better-direction is metric-specific, so they are shown with
+		// their drift but never gate the comparison.
+		for _, unit := range extraUnits(b, c) {
+			bv, bok := b.Extra[unit]
+			cv, cok := c.Extra[unit]
+			switch {
+			case bok && cok:
+				drift := ""
+				if bv > 0 {
+					drift = fmt.Sprintf(" (%+.1f%%)", (cv/bv-1)*100)
+				}
+				fmt.Fprintf(out, "%-9s %-40s %-9s %12.4g -> %12.4g%s\n", "info", c.Name, unit, bv, cv, drift)
+			case cok:
+				fmt.Fprintf(out, "%-9s %-40s %-9s %28.4g (new metric)\n", "info", c.Name, unit, cv)
+			default:
+				fmt.Fprintf(out, "%-9s %-40s %-9s not measured in candidate\n", "info", c.Name, unit)
+			}
+		}
 	}
 	return failures
+}
+
+// extraUnits returns the union of both sides' custom metric units, sorted.
+func extraUnits(b, c Benchmark) []string {
+	seen := make(map[string]bool, len(b.Extra)+len(c.Extra))
+	var out []string
+	for unit := range b.Extra {
+		if !seen[unit] {
+			seen[unit] = true
+			out = append(out, unit)
+		}
+	}
+	for unit := range c.Extra {
+		if !seen[unit] {
+			seen[unit] = true
+			out = append(out, unit)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func main() {

@@ -7,10 +7,13 @@
 // Examples:
 //
 //	cloudburst -scheduler Op -bucket large -jitter 0.5
+//	cloudburst -preset highvar -compare
 //	cloudburst -compare -bucket uniform
 //	cloudburst -scheduler Greedy -csv oo > oo.csv
 //	cloudburst -trace events.jsonl -chrome-trace timeline.json -audit
 //	cloudburst -ec-revoke-mtbf 400 -ec-revoke-warn 30 -audit
+//	cloudburst -ec-rate 0.10 -budget 0.50 -audit
+//	cloudburst -advise sweep.manifest
 //	cloudburst -serve -duration 2h -window 10m -verify
 //	cloudburst -serve -arrivals flashcrowd -duration 1h
 //	cloudburst -serve -duration 1h -checkpoint svc.cbcp
@@ -32,6 +35,7 @@ import (
 
 func main() {
 	var (
+		preset    = flag.String("preset", "", "start from a registered preset ("+strings.Join(cloudburst.Presets(), ", ")+"); explicit flags override its fields")
 		scheduler = flag.String("scheduler", "Op", "scheduler: ICOnly, Greedy, GreedyTracking, Op, SIBS")
 		bucket    = flag.String("bucket", "uniform", "workload bucket: small, uniform, large")
 		batches   = flag.Int("batches", 6, "number of arrival batches")
@@ -53,6 +57,12 @@ func main() {
 		audit     = flag.Bool("audit", false, "replay the event trace through the independent SLA auditor and print its summary")
 		verify    = flag.Bool("verify", false, "audit every event against the runtime invariant checker; fail on any violation (~2x slower)")
 
+		ecRate     = flag.Float64("ec-rate", 0, "on-demand EC rental rate ($ per machine-hour, 0 = pricing off)")
+		ecSpotRate = flag.Float64("ec-spot-rate", 0, "spot EC rental rate under revocation faults ($ per machine-hour, 0 = on-demand rate)")
+		budget     = flag.Float64("budget", 0, "burst budget: admission stops committing EC spend past this ($, 0 = unlimited)")
+		billing    = flag.Float64("billing", 0, "billing interval rentals are rounded up to (seconds, 0 = default 3600)")
+		advisePath = flag.String("advise", "", "read a sweep resume manifest and print burst/no-burst advice per scenario, then exit")
+
 		ecRevokeMTBF = flag.Float64("ec-revoke-mtbf", 0, "revoke EC machines permanently with this mean time between (seconds, 0 = off)")
 		ecRevokeWarn = flag.Float64("ec-revoke-warn", 0, "advance warning before each EC revocation (seconds)")
 		icCrashMTBF  = flag.Float64("ic-crash-mtbf", 0, "crash IC machines with this mean time between (seconds, 0 = off)")
@@ -73,6 +83,11 @@ func main() {
 		quiet          = flag.Bool("quiet", false, "with -serve: suppress per-window lines, print only the final summary")
 	)
 	flag.Parse()
+
+	if *advisePath != "" {
+		runAdvise(*advisePath)
+		return
+	}
 
 	switch *csvOut {
 	case "", "oo", "completions", "waits":
@@ -110,6 +125,17 @@ func main() {
 			MaxRetries:           *retries,
 			Seed:                 *faultSeed,
 		}
+	}
+	if *ecRate != 0 || *ecSpotRate != 0 || *budget != 0 || *billing != 0 {
+		opts.Cost = &cloudburst.CostOptions{
+			OnDemandRate:       *ecRate,
+			SpotRate:           *ecSpotRate,
+			BillingIntervalSec: *billing,
+			Budget:             *budget,
+		}
+	}
+	if *preset != "" {
+		opts = applyPreset(*preset, opts)
 	}
 
 	opts.Verify = *verify
@@ -227,6 +253,98 @@ func main() {
 		if !a.OK() {
 			fatal(fmt.Errorf("audit found %d integrity issue(s)", len(a.Issues)))
 		}
+	}
+}
+
+// applyPreset starts from the named registry preset and overlays every
+// flag the user set explicitly, so "-preset highvar -jitter 0.3" means the
+// highvar regime with jitter lowered to 0.3. Fault, cost and site flags
+// carry over unconditionally — no preset arms them.
+func applyPreset(name string, flagOpts cloudburst.Options) cloudburst.Options {
+	opts, err := cloudburst.Preset(name)
+	if err != nil {
+		fatal(err)
+	}
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["scheduler"] {
+		opts.Scheduler = flagOpts.Scheduler
+	}
+	if set["bucket"] {
+		opts.Bucket = flagOpts.Bucket
+	}
+	if set["batches"] {
+		opts.Batches = flagOpts.Batches
+	}
+	if set["jobs"] {
+		opts.MeanJobsPerBatch = flagOpts.MeanJobsPerBatch
+	}
+	if set["seed"] {
+		opts.WorkloadSeed = flagOpts.WorkloadSeed
+	}
+	if set["netseed"] {
+		opts.NetSeed = flagOpts.NetSeed
+	}
+	if set["jitter"] {
+		opts.JitterCV = flagOpts.JitterCV
+	}
+	if set["tol"] {
+		opts.OOToleranceJobs = flagOpts.OOToleranceJobs
+	}
+	if set["margin"] {
+		opts.SlackMarginSec = flagOpts.SlackMarginSec
+	}
+	if set["resched"] {
+		opts.Rescheduling = flagOpts.Rescheduling
+	}
+	if set["autoscale"] {
+		opts.AutoscaleECMax = flagOpts.AutoscaleECMax
+	}
+	if set["outage-mtbf"] {
+		opts.OutageMTBF = flagOpts.OutageMTBF
+	}
+	opts.ExtraECSites = flagOpts.ExtraECSites
+	opts.Faults = flagOpts.Faults
+	opts.Cost = flagOpts.Cost
+	return opts
+}
+
+// runAdvise prints the burst advisor's per-scenario recommendations from a
+// sweep resume manifest.
+func runAdvise(path string) {
+	advice, err := cloudburst.Advise(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d scenario(s) compared from %s\n", len(advice), path)
+	sawStandIn := false
+	for _, a := range advice {
+		fmt.Printf("\nscenario %s\n", a.Scenario)
+		base := "baseline"
+		if !a.BaselineIsICOnly {
+			base, sawStandIn = "baseline*", true
+		}
+		fmt.Printf("  %-9s %-14s makespan %8.0fs\n", base, a.Baseline.Sched, a.Baseline.Metrics.Makespan)
+		fmt.Printf("  %-9s %-14s makespan %8.0fs", "best", a.Best.Sched, a.Best.Metrics.Makespan)
+		if a.SecondsSaved > 0 {
+			fmt.Printf("  saves %.0fs", a.SecondsSaved)
+		}
+		fmt.Println()
+		if a.Best.Metrics.CostRental > 0 {
+			fmt.Printf("  rental $%.4f", a.Best.Metrics.CostRental)
+			if a.CostPerHourSaved > 0 {
+				fmt.Printf(" ($%.2f per hour saved)", a.CostPerHourSaved)
+			}
+			fmt.Println()
+		}
+		if a.Burst {
+			fmt.Println("  recommendation: burst")
+		} else {
+			fmt.Println("  recommendation: stay internal")
+		}
+	}
+	if sawStandIn {
+		fmt.Println("\n* no ICOnly record in this scenario; slowest bursting run stands in")
 	}
 }
 

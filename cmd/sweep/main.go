@@ -1,7 +1,7 @@
 // Command sweep expands a parameter grid — schedulers × buckets × network
-// profiles × fault sets × replication seeds — and executes every cell
-// concurrently, streaming per-cell results to JSONL/CSV and keeping a
-// crash-safe resume manifest.
+// profiles × fault sets × cost sets × replication seeds — and executes
+// every cell concurrently, streaming per-cell results to JSONL/CSV and
+// keeping a crash-safe resume manifest.
 //
 // Examples:
 //
@@ -9,6 +9,7 @@
 //	sweep -spec grid.json -out results.jsonl -csv results.csv
 //	sweep -schedulers Op -profiles paper,highvar -seeds 8 -resume sweep.manifest
 //	sweep -schedulers Op,SIBS -faults ec-revoke -seeds 4 -agg
+//	sweep -schedulers Op -costs ondemand,budget -seeds 4 -pareto frontier.jsonl
 //
 // Interrupting a sweep (Ctrl-C) leaves every completed cell in the resume
 // manifest; re-running the identical invocation with the same -resume path
@@ -23,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,13 +35,10 @@ import (
 	"cloudburst"
 )
 
-// profilePresets are the named network regimes selectable from the command
-// line; a spec file can define arbitrary ones.
-var profilePresets = map[string]cloudburst.SweepProfile{
-	"paper":   {Name: "paper"},
-	"highvar": {Name: "highvar", JitterCV: 0.5},
-	"outage":  {Name: "outage", OutageMTBF: 3000, OutageMeanDuration: 300, OutageThrottle: 0.2},
-}
+// The -profiles vocabulary is the library's preset registry: each name
+// resolves through cloudburst.SweepProfileFor, so CLI profiles and
+// library presets cannot drift apart. A spec file can still define
+// arbitrary profiles.
 
 // faultPresets are the named fault regimes selectable from the command line.
 var faultPresets = map[string]cloudburst.SweepFaultSet{
@@ -47,6 +46,17 @@ var faultPresets = map[string]cloudburst.SweepFaultSet{
 	"ec-revoke": {Name: "ec-revoke", ECRevocationMTBF: 400, ECRevocationWarning: 30},
 	"ic-crash":  {Name: "ic-crash", ICCrashMTBF: 600, ICCrashMTTR: 300},
 	"stall":     {Name: "stall", TransferStallMTBF: 1200, TransferStallTimeout: 90},
+}
+
+// costPresets are the named pricing regimes selectable from the command
+// line. The budget preset prices on-demand hours but caps committed burst
+// spend, exercising the admission gate; spot prices apply only under
+// EC-revocation faults.
+var costPresets = map[string]cloudburst.SweepCostSet{
+	"free":     {Name: "free"},
+	"ondemand": {Name: "ondemand", OnDemandRate: 0.10},
+	"spot":     {Name: "spot", OnDemandRate: 0.10, SpotRate: 0.03},
+	"budget":   {Name: "budget", OnDemandRate: 0.10, Budget: 0.25},
 }
 
 func main() {
@@ -57,8 +67,9 @@ func main() {
 		buckets    = flag.String("buckets", "uniform", "comma-separated buckets: small, uniform, large")
 		seeds      = flag.Int("seeds", 1, "number of replication seeds")
 		seedBase   = flag.Int64("seed-base", 1, "first replication seed")
-		profiles   = flag.String("profiles", "paper", "comma-separated network profiles: paper, highvar, outage")
+		profiles   = flag.String("profiles", "paper", "comma-separated network profiles: "+strings.Join(cloudburst.Presets(), ", "))
 		faults     = flag.String("faults", "none", "comma-separated fault sets: none, ec-revoke, ic-crash, stall")
+		costs      = flag.String("costs", "free", "comma-separated cost sets: free, ondemand, spot, budget")
 		batches    = flag.Int("batches", 0, "arrival batches per run (0 = paper default 6)")
 		jobs       = flag.Float64("jobs", 0, "mean jobs per batch (0 = paper default 15)")
 		icM        = flag.Int("ic", 0, "IC machines (0 = paper default 8)")
@@ -70,6 +81,7 @@ func main() {
 		csvOut   = flag.String("csv", "", "stream per-cell results to this file as CSV")
 		resume   = flag.String("resume", "", "crash-safe manifest path: completed cells are journaled here and never re-run")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		pareto   = flag.String("pareto", "", "write the rental-cost-vs-makespan Pareto frontier to this file as JSON lines")
 		agg      = flag.Bool("agg", false, "print a mean/stddev/min/max table grouped by scheduler/bucket")
 		quiet    = flag.Bool("q", false, "suppress the progress line")
 		printAll = flag.Bool("cells", false, "print each cell's headline metrics to stdout")
@@ -79,7 +91,7 @@ func main() {
 	spec, err := buildSpec(*specPath, specFlags{
 		schedulers: *schedulers, buckets: *buckets,
 		seeds: *seeds, seedBase: *seedBase,
-		profiles: *profiles, faults: *faults,
+		profiles: *profiles, faults: *faults, costs: *costs,
 		batches: *batches, jobs: *jobs, icM: *icM, ecM: *ecM,
 		margin: *margin, resched: *resched,
 	})
@@ -127,11 +139,17 @@ func main() {
 		fatal(err)
 	}
 
+	if *pareto != "" {
+		if err := writePareto(*pareto, cloudburst.SweepParetoFront(results)); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *printAll {
 		for _, r := range results {
 			c, m := r.Cell, r.Metrics
-			fmt.Printf("%4d  %-14s %-8s %-8s %-10s seed %-4d  makespan %7.0fs  speedup %5.2f  burst %5.2f  [%s]\n",
-				c.Index, c.Scheduler, c.Bucket, c.Profile, c.Fault, c.Seed,
+			fmt.Printf("%4d  %-14s %-8s %-8s %-10s %-8s seed %-4d  makespan %7.0fs  speedup %5.2f  burst %5.2f  [%s]\n",
+				c.Index, c.Scheduler, c.Bucket, c.Profile, c.Fault, c.Cost, c.Seed,
 				m.Makespan, m.Speedup, m.BurstRatio, r.Origin)
 		}
 	}
@@ -142,13 +160,13 @@ func main() {
 
 // specFlags carries the grid flags into buildSpec.
 type specFlags struct {
-	schedulers, buckets, profiles, faults string
-	seeds                                 int
-	seedBase                              int64
-	batches                               int
-	jobs, margin                          float64
-	icM, ecM                              int
-	resched                               bool
+	schedulers, buckets, profiles, faults, costs string
+	seeds                                        int
+	seedBase                                     int64
+	batches                                      int
+	jobs, margin                                 float64
+	icM, ecM                                     int
+	resched                                      bool
 }
 
 // buildSpec loads the spec file, or assembles a spec from the grid flags.
@@ -173,9 +191,9 @@ func buildSpec(path string, f specFlags) (*cloudburst.SweepSpec, error) {
 		Rescheduling:     f.resched,
 	}
 	for _, name := range splitList(f.profiles) {
-		p, ok := profilePresets[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown profile %q (want %s)", name, strings.Join(presetNames(profilePresets), ", "))
+		p, err := cloudburst.SweepProfileFor(name)
+		if err != nil {
+			return nil, fmt.Errorf("unknown profile %q (want %s)", name, strings.Join(cloudburst.Presets(), ", "))
 		}
 		spec.Profiles = append(spec.Profiles, p)
 	}
@@ -186,10 +204,34 @@ func buildSpec(path string, f specFlags) (*cloudburst.SweepSpec, error) {
 		}
 		spec.Faults = append(spec.Faults, fs)
 	}
+	for _, name := range splitList(f.costs) {
+		cs, ok := costPresets[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown cost set %q (want %s)", name, strings.Join(presetNames(costPresets), ", "))
+		}
+		spec.Costs = append(spec.Costs, cs)
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	return &spec, nil
+}
+
+// writePareto emits the frontier as JSON lines, one point per line in
+// ascending-cost order.
+func writePareto(path string, front []cloudburst.SweepParetoPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, p := range front {
+		if err := enc.Encode(p); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {

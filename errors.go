@@ -37,6 +37,33 @@ func optErr(field string, value any, reason string, args ...any) *OptionError {
 	return &OptionError{Field: field, Value: value, Reason: reason}
 }
 
+// CostError reports a failure of the cost-analysis layer — the burst
+// advisor or the Pareto tooling — such as an unreadable, malformed or empty
+// sweep job-history manifest. It wraps the underlying cause:
+//
+//	if _, err := cloudburst.Advise(path); err != nil {
+//		var ce *cloudburst.CostError
+//		if errors.As(err, &ce) {
+//			log.Printf("cost analysis failed on %s: %s", ce.Path, ce.Reason)
+//		}
+//	}
+type CostError struct {
+	Path   string // the manifest or artifact involved, if any
+	Reason string
+	Err    error // underlying cause, or nil
+}
+
+// Error renders the conventional cloudburst-prefixed message.
+func (e *CostError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("cloudburst: cost: %s", e.Reason)
+	}
+	return fmt.Sprintf("cloudburst: cost: %s: %s", e.Path, e.Reason)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (e *CostError) Unwrap() error { return e.Err }
+
 // Violation is one structural invariant the runtime checker found broken
 // during a verified run (Options.Verify).
 type Violation struct {

@@ -82,6 +82,9 @@ func (a *autoscaler) bootDone(now float64, _ any) {
 			Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),
 		})
 	}
+	if e.meter != nil {
+		e.rentalStart(e.ec.Name, m.ID, now, e.meter.Rate())
+	}
 }
 
 // tick evaluates demand and scales. Demand is the expected queueing wait
@@ -113,6 +116,7 @@ func (a *autoscaler) tick() {
 					Cluster: e.ec.Name, Machine: m.ID, Fleet: e.ec.Size(),
 				})
 			}
+			e.rentalEnd(e.ec.Name, m.ID, e.eng.Now())
 		}
 	}
 }

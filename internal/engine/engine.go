@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"cloudburst/internal/cluster"
+	"cloudburst/internal/cost"
 	"cloudburst/internal/job"
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/qrsm"
@@ -79,6 +80,14 @@ type Config struct {
 	// policies (bounded re-burst with backoff, IC fallback). Faults apply to
 	// the primary EC and its links only; remote sites are unaffected.
 	Faults *FaultConfig
+
+	// Cost, when set, prices the external cloud: machine rentals are
+	// metered against the billing interval (RentalStarted/RentalEnded
+	// events), every admitted burst accrues a committed charge
+	// (CostAccrued), and a positive Budget arms the schedulers' admission
+	// gate — over-budget work runs on the IC instead. A nil Cost keeps the
+	// run bit-identical to an unpriced one.
+	Cost *cost.Config
 
 	// Safety valve: abort if the virtual clock passes this (default 30 days).
 	MaxVirtualTime float64
@@ -241,6 +250,14 @@ type Result struct {
 	TransferAborts int // stalled transfers killed by the timeout
 	Retries        int // jobs re-admitted to the EC pipeline after a fault
 	Fallbacks      int // jobs that abandoned the EC for the IC
+
+	// Cost accounting (all zero without a cost model). CostRental is the
+	// billed rental total of every machine span (rounded up to billing
+	// intervals); CostCommitted the monotone prepaid burst spend, which a
+	// positive CostBudget bounds by gate construction.
+	CostRental    float64
+	CostCommitted float64
+	CostBudget    float64
 }
 
 // ErrTimeout is returned when a run exceeds Config.MaxVirtualTime,
@@ -362,6 +379,10 @@ type Engine struct {
 
 	scaler *autoscaler
 	sites  []*ecSite
+
+	// meter accrues rental and committed-burst cost; nil when Config.Cost
+	// is unset (no events, no gate, bit-identical trajectories).
+	meter *cost.Meter
 
 	// Fault injection and recovery accounting.
 	icFaults *cluster.FaultInjector

@@ -182,6 +182,11 @@ func (e *Engine) onECFail(at float64, m *cluster.Machine, aborted *cluster.Task,
 	if e.wants(trace.MachineFailed) {
 		e.tracer.Emit(trace.Event{Type: trace.MachineFailed, T: at, Cluster: "ec", Machine: m.ID, Fatal: permanent})
 	}
+	if permanent {
+		// A revoked machine leaves the rental clock; the provider bills the
+		// started interval regardless (BillSpan rounds the cut-short span up).
+		e.rentalEnd(e.ec.Name, m.ID, at)
+	}
 	if js != nil {
 		e.recoverECJob(js, at, phaseCompute)
 	}

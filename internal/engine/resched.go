@@ -65,6 +65,12 @@ func (e *Engine) idlePull() {
 		// off the critical path.
 		slack := (st.ICBacklogStd - est) / (float64(st.ICMachines) * st.ICSpeed)
 		if tec <= slack {
+			// The budget gate applies to idle pulls like any other burst: a
+			// pull whose prepaid charge overruns the remaining budget stays
+			// on the IC, but smaller jobs deeper in the scan may still fit.
+			if e.meter != nil && e.meter.Charge(est) > e.meter.Remaining() {
+				continue
+			}
 			if e.ic.Withdraw(t) {
 				js.icTask = nil
 				js.place = sched.PlaceEC
@@ -75,6 +81,7 @@ func (e *Engine) idlePull() {
 						EstProc: est, EstEC: tec, Threshold: slack, Gated: true,
 					})
 				}
+				e.commitBurst(js, est, e.eng.Now())
 				e.submitUpload(js)
 			}
 			return

@@ -69,6 +69,7 @@ func runWithHook(ctx context.Context, cfg Config, s sched.Scheduler, batches []w
 		e.scaler = scaler
 	}
 	e.emitRunConfigured()
+	e.startMetering()
 	if hook != nil {
 		hook(e)
 	}
@@ -157,13 +158,19 @@ func (e *Engine) emitRunConfigured() {
 	if !e.wants(trace.RunConfigured) {
 		return
 	}
-	e.tracer.Emit(trace.Event{
+	ev := trace.Event{
 		Type: trace.RunConfigured, T: e.eng.Now(),
 		ICMachines: e.cfg.ICMachines, ECMachines: e.cfg.ECMachines,
 		ECSpeed: e.cfg.ECSpeed, Autoscale: e.cfg.Autoscale != nil,
 		Scheduler:     e.sched.Name(),
 		LinkBWCeiling: maxThreadLimit(e.cfg.ThreadModel),
-	})
+	}
+	if e.meter != nil {
+		ev.Rate = e.meter.Rate()
+		ev.Budget = e.meter.Budget()
+		ev.BillingSec = e.meter.BillingInterval()
+	}
+	e.tracer.Emit(ev)
 }
 
 // build wires the substrates.
@@ -232,6 +239,8 @@ func (e *Engine) build() {
 	if cfg.Faults != nil {
 		e.buildFaults()
 	}
+
+	e.meter = newMeter(cfg)
 }
 
 // state snapshots the observable system for the scheduler.
@@ -289,7 +298,7 @@ func (e *Engine) state() *sched.State {
 			downPending += float64(js.j.OutputSize)
 		}
 	}
-	return &sched.State{
+	st := &sched.State{
 		Now:             e.eng.Now(),
 		ICBacklogStd:    e.ic.BacklogStdSeconds(),
 		ICMachines:      e.ic.Size(),
@@ -315,6 +324,14 @@ func (e *Engine) state() *sched.State {
 		EstimateJob: e.estimateJob,
 		RemoteSites: e.siteStates(),
 	}
+	if e.meter != nil {
+		// The budget gate: schedulers quote each candidate burst through
+		// the meter's own Charge so the engine's later commit reproduces
+		// the identical float.
+		st.BurstCharge = e.meter.Charge
+		st.BudgetRemaining = e.meter.Remaining()
+	}
+	return st
 }
 
 // onBatch is step (3)-(4) of the architecture: the controller picks up the
@@ -388,6 +405,9 @@ func (e *Engine) onBatch(b workload.Batch) {
 				Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
 				Arrival: d.Job.ArrivalTime,
 			})
+		}
+		if d.Place == sched.PlaceEC {
+			e.commitBurst(js, d.EstProcStd, e.eng.Now())
 		}
 		switch {
 		case d.Place == sched.PlaceIC:
@@ -622,6 +642,7 @@ func (e *Engine) resultFrom(tseq float64, originalJobs int) *Result {
 		r.ECBoots = e.scaler.bootCount
 		r.ECDrains = e.scaler.drainCount
 	}
+	e.fillCostResult(r, end)
 	return r
 }
 

@@ -331,6 +331,7 @@ func Serve(ctx context.Context, cfg Config, s sched.Scheduler, src workload.Sour
 		e.scaler = scaler
 	}
 	e.emitRunConfigured()
+	e.startMetering()
 
 	// Streaming IDs are allocated lazily by the source from the engine's
 	// counter — the same counter chunking draws from — so chunk IDs can

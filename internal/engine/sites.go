@@ -21,6 +21,10 @@ type RemoteSiteConfig struct {
 	UploadProfile   *netsim.Profile
 	DownloadProfile *netsim.Profile
 	JitterCV        float64 // default: the engine's JitterCV
+	// OnDemandRate overrides the cost model's on-demand price for this
+	// site's machines ($/machine-hour); 0 inherits Config.Cost. Remote
+	// sites are never spot-priced (the revocation model is primary-only).
+	OnDemandRate float64
 }
 
 // ecSite is the live state of one remote external cloud.

@@ -17,7 +17,12 @@
 //   - the OO metric (ordered output bytes, tolerance 0) recomputed
 //     independently at every delivery is non-decreasing;
 //   - compute machines are exclusive: a machine never starts a second task
-//     before ending the first.
+//     before ending the first;
+//   - cost accounting is sound: committed spend accrues monotonically, each
+//     accrual's running total equals the previous total plus the charge,
+//     spend never exceeds the budget announced by RunConfigured, rental
+//     billing totals are monotone, and rentals pair (no machine is rented
+//     twice without an intervening end, none is ended un-rented).
 //
 // Violations are collected, not panicked, so a single run reports every
 // broken invariant at once. The checker is deliberately naive — maps and
@@ -82,6 +87,10 @@ type Checker struct {
 	seqOwner   map[int]int        // result-queue seq -> job ID
 	deliveredO map[int]int64      // seq -> output bytes, for the OO recompute
 	lastOO     int64
+	budget     float64 // burst budget from RunConfigured; 0 = unlimited
+	committed  float64 // running committed spend from CostAccrued
+	rentalTot  float64 // running rental billing total from RentalEnded
+	rentals    map[machineKey]bool
 	violations []Violation
 	total      int
 	finished   bool
@@ -94,6 +103,7 @@ func New() *Checker {
 		busy:       make(map[machineKey]int),
 		seqOwner:   make(map[int]int),
 		deliveredO: make(map[int]int64),
+		rentals:    make(map[machineKey]bool),
 	}
 }
 
@@ -127,6 +137,7 @@ func (c *Checker) InterestMask() trace.Mask {
 		trace.PlacementDecided, trace.JobRetried, trace.UploadStart,
 		trace.TransferAborted, trace.UploadEnd, trace.DownloadEnd,
 		trace.ComputeStart, trace.ComputeEnd, trace.JobDelivered,
+		trace.RentalStarted, trace.RentalEnded, trace.CostAccrued,
 	)
 }
 
@@ -148,6 +159,7 @@ func (c *Checker) Emit(ev trace.Event) {
 	switch ev.Type {
 	case trace.RunConfigured:
 		c.ceiling = ev.LinkBWCeiling
+		c.budget = ev.Budget
 
 	case trace.JobArrived:
 		ji := c.job(ev.JobID)
@@ -265,6 +277,51 @@ func (c *Checker) Emit(ev trace.Event) {
 		if ji.delivered == 1 {
 			c.checkOO(ev)
 		}
+
+	case trace.RentalStarted:
+		key := machineKey{ev.Cluster, ev.Machine}
+		if c.rentals[key] {
+			c.fail("cost-rental", ev.T, ev.JobID,
+				"machine %s/%d rented while already rented", ev.Cluster, ev.Machine)
+		}
+		c.rentals[key] = true
+
+	case trace.RentalEnded:
+		key := machineKey{ev.Cluster, ev.Machine}
+		if !c.rentals[key] {
+			c.fail("cost-rental", ev.T, ev.JobID,
+				"machine %s/%d rental ended without a start", ev.Cluster, ev.Machine)
+		}
+		delete(c.rentals, key)
+		if ev.Amount < -Eps {
+			c.fail("cost-rental", ev.T, ev.JobID,
+				"negative rental bill %.9f for %s/%d", ev.Amount, ev.Cluster, ev.Machine)
+		}
+		if ev.Total < c.rentalTot-Eps {
+			c.fail("cost-rental", ev.T, ev.JobID,
+				"rental total fell from %.9f to %.9f", c.rentalTot, ev.Total)
+		}
+		c.rentalTot = ev.Total
+
+	case trace.CostAccrued:
+		if ev.Amount < -Eps {
+			c.fail("cost-budget", ev.T, ev.JobID, "negative accrual %.9f", ev.Amount)
+		}
+		want := c.committed + ev.Amount
+		if diff := ev.Total - want; diff > Eps || diff < -Eps {
+			c.fail("cost-budget", ev.T, ev.JobID,
+				"accrued total %.9f, expected previous %.9f + charge %.9f",
+				ev.Total, c.committed, ev.Amount)
+		}
+		if ev.Total < c.committed-Eps {
+			c.fail("cost-budget", ev.T, ev.JobID,
+				"committed spend fell from %.9f to %.9f", c.committed, ev.Total)
+		}
+		if c.budget > 0 && ev.Total > c.budget+Eps {
+			c.fail("cost-budget", ev.T, ev.JobID,
+				"committed spend %.9f exceeds budget %.9f", ev.Total, c.budget)
+		}
+		c.committed = ev.Total
 	}
 }
 

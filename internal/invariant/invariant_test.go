@@ -167,3 +167,64 @@ func TestTotalCountsPastKeptLimit(t *testing.T) {
 		t.Fatalf("Total = %d, want > kept limit", c.Total())
 	}
 }
+
+// costEvents is a clean priced stream: one rental cycle plus two budget
+// accruals under a $1 budget.
+func costEvents() []trace.Event {
+	return []trace.Event{
+		{Type: trace.RunConfigured, T: 0, LinkBWCeiling: 1000, Budget: 1.0, BillingSec: 3600, Rate: 0.10},
+		{Type: trace.RentalStarted, T: 0, JobID: -1, Cluster: "ec", Machine: 0, Rate: 0.10},
+		{Type: trace.CostAccrued, T: 10, JobID: 1, Amount: 0.10, Total: 0.10, Budget: 1.0},
+		{Type: trace.CostAccrued, T: 20, JobID: 2, Amount: 0.20, Total: 0.30, Budget: 1.0},
+		{Type: trace.RentalEnded, T: 3600, JobID: -1, Cluster: "ec", Machine: 0, Rate: 0.10, Amount: 0.10, Total: 0.10},
+	}
+}
+
+func TestCleanCostStreamPasses(t *testing.T) {
+	if vs := feed(costEvents()...); len(vs) != 0 {
+		t.Fatalf("clean priced stream reported violations: %v", vs)
+	}
+}
+
+func TestCatchesBudgetExceeded(t *testing.T) {
+	evs := costEvents()
+	evs[3].Amount, evs[3].Total = 1.50, 1.60 // blows through the $1 budget
+	one(t, feed(evs...), "cost-budget")
+}
+
+func TestCatchesNonMonotoneAccrual(t *testing.T) {
+	evs := costEvents()
+	evs[3].Amount, evs[3].Total = 0.20, 0.25 // total != previous + amount
+	one(t, feed(evs...), "cost-budget")
+}
+
+func TestCatchesNegativeAccrual(t *testing.T) {
+	evs := costEvents()
+	// A refund: both the negative amount and the shrinking total are wrong.
+	evs[3].Amount, evs[3].Total = -0.05, 0.05
+	vs := feed(evs...)
+	if len(vs) == 0 || vs[0].Invariant != "cost-budget" {
+		t.Fatalf("negative accrual not caught: %v", vs)
+	}
+}
+
+func TestCatchesDoubleRental(t *testing.T) {
+	evs := costEvents()
+	evs = append(evs, trace.Event{Type: trace.RentalStarted, T: 3700, JobID: -1, Cluster: "ec", Machine: 1, Rate: 0.10},
+		trace.Event{Type: trace.RentalStarted, T: 3800, JobID: -1, Cluster: "ec", Machine: 1, Rate: 0.10})
+	one(t, feed(evs...), "cost-rental")
+}
+
+func TestCatchesRentalEndWithoutStart(t *testing.T) {
+	evs := costEvents()
+	evs = append(evs, trace.Event{Type: trace.RentalEnded, T: 4000, JobID: -1, Cluster: "ec", Machine: 5, Amount: 0.10, Total: 0.20})
+	one(t, feed(evs...), "cost-rental")
+}
+
+func TestCatchesRentalTotalFalling(t *testing.T) {
+	evs := costEvents()
+	evs = append(evs,
+		trace.Event{Type: trace.RentalStarted, T: 3700, JobID: -1, Cluster: "ec", Machine: 1, Rate: 0.10},
+		trace.Event{Type: trace.RentalEnded, T: 7200, JobID: -1, Cluster: "ec", Machine: 1, Amount: 0.10, Total: 0.05})
+	one(t, feed(evs...), "cost-rental")
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"cloudburst/internal/cluster"
+	"cloudburst/internal/cost"
 	"cloudburst/internal/engine"
 	"cloudburst/internal/invariant"
 	"cloudburst/internal/netsim"
@@ -83,6 +84,29 @@ func diffCases() []diffCase {
 			},
 		}
 	}
+	priced := func() engine.Config {
+		return engine.Config{
+			NetSeed: 43,
+			Cost:    &cost.Config{OnDemandRate: 0.10},
+		}
+	}
+	// A tight budget forces the admission gate to push work back to the IC
+	// in both stacks; the twins must agree on every forced placement.
+	budgeted := func() engine.Config {
+		return engine.Config{
+			NetSeed: 43,
+			Cost:    &cost.Config{OnDemandRate: 0.10, Budget: 0.25},
+		}
+	}
+	spotRevoke := func() engine.Config {
+		return engine.Config{
+			NetSeed: 43,
+			Cost:    &cost.Config{OnDemandRate: 0.10, SpotRate: 0.03, Spot: true, Budget: 0.15},
+			Faults: &engine.FaultConfig{
+				ECRevocation: cluster.FaultModel{MTBF: 400, WarnLead: 30},
+			},
+		}
+	}
 	greedy := func() sched.Scheduler { return sched.Greedy{} }
 	op := func() sched.Scheduler { return sched.OrderPreserving{} }
 	sibs := func() sched.Scheduler { return &sched.SIBS{} }
@@ -98,6 +122,11 @@ func diffCases() []diffCase {
 		{"op-ec-revoke", ecRevoke, op, "Op"},
 		{"op-ic-crash", icCrash, op, "Op"},
 		{"sibs-stall", stall, sibs, "SIBS"},
+		{"greedy-priced", priced, greedy, "Greedy"},
+		{"op-budget", budgeted, op, "Op"},
+		{"sibs-budget", budgeted, sibs, "SIBS"},
+		{"greedy-budget", budgeted, greedy, "Greedy"},
+		{"op-spot-revoke", spotRevoke, op, "Op"},
 	}
 }
 
@@ -175,6 +204,11 @@ func TestEngineAgreesWithReference(t *testing.T) {
 					t.Errorf("site %d bursts: engine %d, refsim %d",
 						i, opt.SiteBursts[i], ref.SiteBursts[i])
 				}
+			}
+			checkF("costRental", opt.CostRental, ref.CostRental)
+			checkF("costCommitted", opt.CostCommitted, ref.CostCommitted)
+			if c := dc.cfg().Cost; c != nil && c.Budget > 0 && opt.CostCommitted > c.Budget+relTol {
+				t.Errorf("committed spend %.9f exceeds budget %.9f", opt.CostCommitted, c.Budget)
 			}
 
 			// OO series: the optimized sla path (sorted cache) against the

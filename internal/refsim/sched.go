@@ -207,19 +207,29 @@ func (Greedy) Name() string { return "Greedy" }
 func (Greedy) Schedule(batch []*job.Job, st *sched.State, alloc job.IDAllocator) []sched.Decision {
 	out := make([]sched.Decision, 0, len(batch))
 	pipes := refPipelines(st)
+	budget := st.BudgetRemaining
 	for _, j := range batch {
 		est := estProc(st, j)
 		tic := st.ICBacklogStd/(float64(max(st.ICMachines, 1))*st.ICSpeed) + est/st.ICSpeed
 		site, tec := refBestSite(pipes, j, est)
 		d := sched.Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: tic, Gated: true}
-		if tic <= tec {
+		burst := tic > tec
+		var charge float64
+		overBudget := false
+		if burst && st.BurstCharge != nil {
+			if charge = st.BurstCharge(est); charge > budget {
+				burst, overBudget = false, true
+			}
+		}
+		if burst {
+			pipes[site].commit(j, est)
+			budget -= charge
+			d.Place, d.Site = sched.PlaceEC, site
+		} else {
 			d.Place = sched.PlaceIC
-			if math.IsInf(tec, 1) {
+			if math.IsInf(tec, 1) || overBudget {
 				d.EstEC, d.Gated = 0, false
 			}
-		} else {
-			pipes[site].commit(j, est)
-			d.Place, d.Site = sched.PlaceEC, site
 		}
 		out = append(out, d)
 	}
@@ -275,13 +285,23 @@ func placeWithSlack(jobs []*job.Job, st *sched.State, cfg sched.Config) []sched.
 	pipes := refPipelines(st)
 	out := make([]sched.Decision, 0, len(jobs))
 	var maxICCompletion float64
+	budget := st.BudgetRemaining
 	for _, j := range jobs {
 		est := estProc(st, j)
 		site, tec := refBestSite(pipes, j, est)
 		slack := maxICCompletion - cfg.SlackMargin
 		d := sched.Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: slack, Gated: true}
-		if tec <= slack {
+		burst := tec <= slack
+		var charge float64
+		overBudget := false
+		if burst && st.BurstCharge != nil {
+			if charge = st.BurstCharge(est); charge > budget {
+				burst, overBudget = false, true
+			}
+		}
+		if burst {
 			pipes[site].commit(j, est)
+			budget -= charge
 			d.Place, d.Site = sched.PlaceEC, site
 		} else {
 			done := ic.add(est, 0)
@@ -289,7 +309,7 @@ func placeWithSlack(jobs []*job.Job, st *sched.State, cfg sched.Config) []sched.
 			if done > maxICCompletion {
 				maxICCompletion = done
 			}
-			if math.IsInf(tec, 1) {
+			if math.IsInf(tec, 1) || overBudget {
 				d.EstEC, d.Gated = 0, false
 			}
 		}

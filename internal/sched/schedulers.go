@@ -48,22 +48,34 @@ func (Greedy) Name() string { return "Greedy" }
 func (Greedy) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Decision {
 	out := make([]Decision, 0, len(batch))
 	pipes := allPipelines(st)
+	budget := st.BudgetRemaining
 	for _, j := range batch {
 		est := st.estProc(j)
 		// ft^ic: wait for the aggregate IC backlog, then process.
 		tic := st.ICBacklogStd/(float64(max(st.ICMachines, 1))*st.ICSpeed) + est/st.ICSpeed
 		site, tec := bestSite(pipes, j, est)
 		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: tic, Gated: true}
-		if tic <= tec {
+		burst := tic > tec
+		var charge float64
+		overBudget := false
+		if burst && st.BurstCharge != nil {
+			if charge = st.BurstCharge(est); charge > budget {
+				burst, overBudget = false, true
+			}
+		}
+		if burst {
+			pipes[site].commit(j, est)
+			budget -= charge
+			d.Place, d.Site = PlaceEC, site
+		} else {
 			d.Place = PlaceIC
-			if math.IsInf(tec, 1) {
-				// No viable EC pipeline (fleet revoked): there was no real
-				// comparison, and +Inf must not reach the trace stream.
+			if math.IsInf(tec, 1) || overBudget {
+				// No viable EC pipeline (fleet revoked), or the budget gate
+				// overrode the comparison: either way there was no admissible
+				// EstEC-vs-Threshold decision, and +Inf must not reach the
+				// trace stream.
 				d.EstEC, d.Gated = 0, false
 			}
-		} else {
-			pipes[site].commit(j, est)
-			d.Place, d.Site = PlaceEC, site
 		}
 		out = append(out, d)
 	}
@@ -85,20 +97,30 @@ func (GreedyTracking) Schedule(batch []*job.Job, st *State, alloc job.IDAllocato
 	ic := newVirtualPool(st.ICMachines, st.ICSpeed, st.ICBacklogStd)
 	pipes := allPipelines(st)
 	out := make([]Decision, 0, len(batch))
+	budget := st.BudgetRemaining
 	for _, j := range batch {
 		est := st.estProc(j)
 		tic := peekPool(ic, est)
 		site, tec := bestSite(pipes, j, est)
 		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: tic, Gated: true}
-		if tic <= tec {
+		burst := tic > tec
+		var charge float64
+		overBudget := false
+		if burst && st.BurstCharge != nil {
+			if charge = st.BurstCharge(est); charge > budget {
+				burst, overBudget = false, true
+			}
+		}
+		if burst {
+			pipes[site].commit(j, est)
+			budget -= charge
+			d.Place, d.Site = PlaceEC, site
+		} else {
 			ic.add(est, 0)
 			d.Place = PlaceIC
-			if math.IsInf(tec, 1) {
+			if math.IsInf(tec, 1) || overBudget {
 				d.EstEC, d.Gated = 0, false
 			}
-		} else {
-			pipes[site].commit(j, est)
-			d.Place, d.Site = PlaceEC, site
 		}
 		out = append(out, d)
 	}
@@ -216,13 +238,23 @@ func placeWithSlack(jobs []*job.Job, st *State, cfg Config) []Decision {
 	pipes := allPipelines(st)
 	out := make([]Decision, 0, len(jobs))
 	var maxICCompletion float64 // slack(J, i): latest internal completion so far
+	budget := st.BudgetRemaining
 	for _, j := range jobs {
 		est := st.estProc(j)
 		site, tec := bestSite(pipes, j, est)
 		slack := maxICCompletion - cfg.SlackMargin
 		d := Decision{Job: j, EstProcStd: est, EstEC: tec, Threshold: slack, Gated: true}
-		if tec <= slack {
+		burst := tec <= slack
+		var charge float64
+		overBudget := false
+		if burst && st.BurstCharge != nil {
+			if charge = st.BurstCharge(est); charge > budget {
+				burst, overBudget = false, true
+			}
+		}
+		if burst {
 			pipes[site].commit(j, est)
+			budget -= charge
 			d.Place, d.Site = PlaceEC, site
 		} else {
 			done := ic.add(est, 0)
@@ -230,7 +262,7 @@ func placeWithSlack(jobs []*job.Job, st *State, cfg Config) []Decision {
 			if done > maxICCompletion {
 				maxICCompletion = done
 			}
-			if math.IsInf(tec, 1) {
+			if math.IsInf(tec, 1) || overBudget {
 				d.EstEC, d.Gated = 0, false
 			}
 		}

@@ -106,6 +106,18 @@ type State struct {
 	// site has its own network path and cluster; schedulers burst to the
 	// site with the earliest estimated completion.
 	RemoteSites []SiteState
+
+	// Budget gate (nil/zero when no cost model is armed). BurstCharge
+	// quotes the prepaid committed cost of bursting a job with the given
+	// standardized processing estimate — the engine supplies its meter's
+	// own quote function so the charge it later commits for an admitted
+	// burst is the identical float. BudgetRemaining is the uncommitted
+	// budget at batch start (+Inf when unlimited); schedulers deduct their
+	// within-batch commitments from a local copy, and a job whose charge
+	// would overrun it is kept on the IC (Gated=false: no admissible
+	// EstEC-vs-Threshold comparison was lost, the budget overrode it).
+	BurstCharge     func(estStd float64) float64
+	BudgetRemaining float64
 }
 
 // SiteState is the observable state of one additional external cloud.

@@ -22,6 +22,11 @@ type Metrics struct {
 
 	Retries   int `json:"retries"`
 	Fallbacks int `json:"fallbacks"`
+
+	// Cost accounting (zero when the cell's pricing model is off).
+	CostRental    float64 `json:"costRental,omitempty"`
+	CostCommitted float64 `json:"costCommitted,omitempty"`
+	CostBudget    float64 `json:"costBudget,omitempty"`
 }
 
 // metricDefs fixes the canonical metric order used by CSV columns and the
@@ -43,6 +48,9 @@ var metricDefs = []struct {
 	{"ec_machine_seconds", func(m Metrics) float64 { return m.ECMachineSeconds }},
 	{"retries", func(m Metrics) float64 { return float64(m.Retries) }},
 	{"fallbacks", func(m Metrics) float64 { return float64(m.Fallbacks) }},
+	{"cost_rental", func(m Metrics) float64 { return m.CostRental }},
+	{"cost_committed", func(m Metrics) float64 { return m.CostCommitted }},
+	{"cost_budget", func(m Metrics) float64 { return m.CostBudget }},
 }
 
 // MetricNames returns the canonical metric column order.

@@ -1,0 +1,54 @@
+package sweep
+
+import "sort"
+
+// ParetoPoint is one cell on the cost-vs-makespan frontier: the run that no
+// other run in the sweep beats on both total rental spend and makespan.
+type ParetoPoint struct {
+	Cell     Cell    `json:"cell"`
+	Cost     float64 `json:"cost"`
+	Makespan float64 `json:"makespan"`
+	Metrics  Metrics `json:"metrics"`
+}
+
+// ParetoFront extracts the non-dominated subset of sweep results over
+// (cost_rental, makespan), both minimized: a result is dominated when some
+// other result costs no more and finishes no later, and is strictly better
+// on at least one of the two. Points come back sorted by ascending cost
+// (ties by makespan, then cell index), so writing them in order draws the
+// frontier left to right. Duplicate (cost, makespan) pairs keep only the
+// lowest-index cell — deduped replicas would otherwise pad the frontier
+// with identical points.
+func ParetoFront(results []Result) []ParetoPoint {
+	pts := make([]ParetoPoint, 0, len(results))
+	for _, r := range results {
+		pts = append(pts, ParetoPoint{
+			Cell:     r.Cell,
+			Cost:     r.Metrics.CostRental,
+			Makespan: r.Metrics.Makespan,
+			Metrics:  r.Metrics,
+		})
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Cost != pts[j].Cost {
+			return pts[i].Cost < pts[j].Cost
+		}
+		if pts[i].Makespan != pts[j].Makespan {
+			return pts[i].Makespan < pts[j].Makespan
+		}
+		return pts[i].Cell.Index < pts[j].Cell.Index
+	})
+	// After the sort a point is on the frontier iff its makespan strictly
+	// improves on every cheaper (earlier) point's best makespan.
+	out := pts[:0]
+	best := 0.0
+	seen := false
+	for _, p := range pts {
+		if seen && p.Makespan >= best {
+			continue
+		}
+		out = append(out, p)
+		best, seen = p.Makespan, true
+	}
+	return append([]ParetoPoint(nil), out...)
+}

@@ -1,0 +1,61 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func paretoResult(index int, cost, makespan float64) Result {
+	return Result{
+		Cell:    Cell{Index: index},
+		Metrics: Metrics{CostRental: cost, Makespan: makespan},
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	results := []Result{
+		paretoResult(0, 0.30, 100), // dominated by index 3 (cheaper, same speed)
+		paretoResult(1, 0.00, 400), // frontier: cheapest
+		paretoResult(2, 0.10, 250), // frontier
+		paretoResult(3, 0.20, 100), // frontier: fastest for its price
+		paretoResult(4, 0.10, 300), // dominated by index 2 (same cost, slower)
+		paretoResult(5, 0.40, 120), // dominated: pricier and slower than 3
+	}
+	front := ParetoFront(results)
+	got := make([]int, len(front))
+	for i, p := range front {
+		got[i] = p.Cell.Index
+	}
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("frontier cells = %v, want %v", got, want)
+	}
+	// Ascending cost, strictly descending makespan.
+	for i := 1; i < len(front); i++ {
+		if front[i].Cost < front[i-1].Cost {
+			t.Fatalf("frontier not sorted by cost: %+v", front)
+		}
+		if front[i].Makespan >= front[i-1].Makespan {
+			t.Fatalf("frontier point %d does not improve makespan: %+v", i, front)
+		}
+	}
+	if front[0].Metrics.Makespan != 400 {
+		t.Fatalf("frontier point lost its metrics: %+v", front[0])
+	}
+}
+
+func TestParetoFrontDuplicatesCollapse(t *testing.T) {
+	results := []Result{
+		paretoResult(0, 0.10, 200),
+		paretoResult(1, 0.10, 200), // exact duplicate: first index wins
+	}
+	front := ParetoFront(results)
+	if len(front) != 1 || front[0].Cell.Index != 0 {
+		t.Fatalf("duplicate handling: %+v", front)
+	}
+}
+
+func TestParetoFrontEmpty(t *testing.T) {
+	if front := ParetoFront(nil); front != nil {
+		t.Fatalf("empty input yields %+v", front)
+	}
+}

@@ -183,7 +183,7 @@ func TestRunCellsSinks(t *testing.T) {
 	if len(rows) != 4 { // header + 3 cells
 		t.Fatalf("CSV has %d rows, want 4", len(rows))
 	}
-	wantHeader := append([]string{"index", "scheduler", "bucket", "profile", "fault", "seed", "origin"}, MetricNames()...)
+	wantHeader := append([]string{"index", "scheduler", "bucket", "profile", "fault", "cost", "seed", "origin"}, MetricNames()...)
 	for i, h := range wantHeader {
 		if rows[0][i] != h {
 			t.Fatalf("CSV header[%d] = %q, want %q", i, rows[0][i], h)
@@ -254,16 +254,17 @@ func TestAggregate(t *testing.T) {
 
 func TestMetricsValueCoversAllNames(t *testing.T) {
 	m := Metrics{Makespan: 1, Speedup: 2, BurstRatio: 3, ICUtil: 4, ECUtil: 5, TSeq: 6,
-		Jobs: 7, Chunks: 8, PeakCount: 9, TotalStall: 10, ECMachineSeconds: 11, Retries: 12, Fallbacks: 13}
+		Jobs: 7, Chunks: 8, PeakCount: 9, TotalStall: 10, ECMachineSeconds: 11, Retries: 12, Fallbacks: 13,
+		CostRental: 14, CostCommitted: 15, CostBudget: 16}
 	seen := make(map[float64]bool)
 	for _, name := range MetricNames() {
 		v := m.Value(name)
-		if v < 1 || v > 13 || seen[v] {
+		if v < 1 || v > 16 || seen[v] {
 			t.Fatalf("metric %q maps to %v (missing or duplicate field)", name, v)
 		}
 		seen[v] = true
 	}
-	if len(seen) != 13 {
-		t.Fatalf("MetricNames covers %d fields, want 13", len(seen))
+	if len(seen) != 16 {
+		t.Fatalf("MetricNames covers %d fields, want 16", len(seen))
 	}
 }

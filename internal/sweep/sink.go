@@ -41,7 +41,7 @@ func newCSVSink(w io.Writer) *csvSink {
 func (s *csvSink) Write(c Cell, m Metrics, o Origin) error {
 	if !s.wrote {
 		header := append([]string{
-			"index", "scheduler", "bucket", "profile", "fault", "seed", "origin",
+			"index", "scheduler", "bucket", "profile", "fault", "cost", "seed", "origin",
 		}, s.fields...)
 		if err := s.w.Write(header); err != nil {
 			return err
@@ -49,7 +49,7 @@ func (s *csvSink) Write(c Cell, m Metrics, o Origin) error {
 		s.wrote = true
 	}
 	row := []string{
-		strconv.Itoa(c.Index), c.Scheduler, c.Bucket, c.Profile, c.Fault,
+		strconv.Itoa(c.Index), c.Scheduler, c.Bucket, c.Profile, c.Fault, c.Cost,
 		strconv.FormatInt(c.Seed, 10), o.String(),
 	}
 	for _, name := range s.fields {

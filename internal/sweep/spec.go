@@ -1,7 +1,7 @@
 // Package sweep is the concurrent parameter-sweep engine behind the public
 // cloudburst.Sweep API and the internal/experiments drivers: it expands a
 // declarative grid specification (schedulers × buckets × network profiles ×
-// fault sets × replication seeds) into cells with deterministically derived
+// fault sets × cost sets × replication seeds) into cells with deterministically derived
 // per-cell seeds, executes the cells on a GOMAXPROCS-bounded worker pool
 // with per-cell panic isolation and deterministic result order, dedups
 // identical cells through their configuration fingerprints, streams results
@@ -62,17 +62,33 @@ func (f FaultSet) Enabled() bool {
 	return f.ECRevocationMTBF > 0 || f.ICCrashMTBF > 0 || f.TransferStallMTBF > 0
 }
 
-// Spec declares a sweep grid. The cross product of the five axes —
-// Schedulers × Buckets × Profiles × Faults × seeds — becomes the cell list;
-// the remaining fields are scalar knobs shared by every cell. Empty axes
-// normalize to a single default element, so the zero Spec is one cell of
-// the paper testbed.
+// CostSet is one named pricing regime of the grid. The zero value (aside
+// from Name) keeps cost accounting off; any armed field prices the run.
+type CostSet struct {
+	Name               string  `json:"name"`
+	OnDemandRate       float64 `json:"onDemandRate,omitempty"` // $/machine-hour
+	SpotRate           float64 `json:"spotRate,omitempty"`
+	BillingIntervalSec float64 `json:"billingIntervalSec,omitempty"`
+	Budget             float64 `json:"budget,omitempty"` // 0 = unlimited
+}
+
+// Enabled reports whether the pricing model is armed.
+func (c CostSet) Enabled() bool {
+	return c.OnDemandRate > 0 || c.SpotRate > 0 || c.BillingIntervalSec > 0 || c.Budget > 0
+}
+
+// Spec declares a sweep grid. The cross product of the six axes —
+// Schedulers × Buckets × Profiles × Faults × Costs × seeds — becomes the
+// cell list; the remaining fields are scalar knobs shared by every cell.
+// Empty axes normalize to a single default element, so the zero Spec is one
+// cell of the paper testbed.
 type Spec struct {
 	// Axes.
 	Schedulers []string   `json:"schedulers,omitempty"`
 	Buckets    []string   `json:"buckets,omitempty"`
 	Profiles   []Profile  `json:"profiles,omitempty"`
 	Faults     []FaultSet `json:"faults,omitempty"`
+	Costs      []CostSet  `json:"costs,omitempty"`
 	// Seeds lists the replication seeds explicitly; when empty, SeedCount
 	// seeds BaseSeed, BaseSeed+1, … are used (default one seed, base 1).
 	Seeds     []int64 `json:"seeds,omitempty"`
@@ -150,6 +166,9 @@ func (s Spec) Normalize() Spec {
 	}
 	if len(s.Faults) == 0 {
 		s.Faults = []FaultSet{{Name: "none"}}
+	}
+	if len(s.Costs) == 0 {
+		s.Costs = []CostSet{{Name: "free"}}
 	}
 	if len(s.Seeds) == 0 {
 		if s.BaseSeed == 0 {
@@ -240,10 +259,23 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	seen = map[string]bool{}
+	for i, c := range s.Costs {
+		if c.Name == "" {
+			return specErr(fmt.Sprintf("costs[%d].name", i), "is blank")
+		}
+		if seen[c.Name] {
+			return specErr(fmt.Sprintf("costs[%d].name", i), "duplicates %q", c.Name)
+		}
+		seen[c.Name] = true
+		if err := c.validate(fmt.Sprintf("costs[%d]", i)); err != nil {
+			return err
+		}
+	}
 	n := s.Normalize()
 	cells := int64(1)
 	for _, axis := range []int{
-		len(n.Schedulers), len(n.Buckets), len(n.Profiles), len(n.Faults), len(n.Seeds),
+		len(n.Schedulers), len(n.Buckets), len(n.Profiles), len(n.Faults), len(n.Costs), len(n.Seeds),
 	} {
 		cells *= int64(axis)
 		if cells > MaxCells {
@@ -293,6 +325,20 @@ func (f FaultSet) validate(path string) error {
 	return nil
 }
 
+func (c CostSet) validate(path string) error {
+	switch {
+	case c.OnDemandRate < 0:
+		return specErr(path+".onDemandRate", "must not be negative")
+	case c.SpotRate < 0:
+		return specErr(path+".spotRate", "must not be negative")
+	case c.BillingIntervalSec < 0:
+		return specErr(path+".billingIntervalSec", "must not be negative")
+	case c.Budget < 0:
+		return specErr(path+".budget", "must not be negative")
+	}
+	return nil
+}
+
 // Profile returns the named profile of the normalized spec.
 func (s Spec) Profile(name string) (Profile, bool) {
 	for _, p := range s.Normalize().Profiles {
@@ -313,6 +359,16 @@ func (s Spec) FaultSet(name string) (FaultSet, bool) {
 	return FaultSet{}, false
 }
 
+// CostSet returns the named pricing regime of the normalized spec.
+func (s Spec) CostSet(name string) (CostSet, bool) {
+	for _, c := range s.Normalize().Costs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return CostSet{}, false
+}
+
 // Cell is one grid point: the axis values that select its configuration,
 // the three derived simulation seeds, and the caller-stamped configuration
 // fingerprint used for dedup and the resume manifest.
@@ -322,6 +378,7 @@ type Cell struct {
 	Bucket    string `json:"bucket"`
 	Profile   string `json:"profile"`
 	Fault     string `json:"fault"`
+	Cost      string `json:"cost,omitempty"`
 	Seed      int64  `json:"seed"`
 
 	// Derived seeds, computed from Seed alone (not from the other axes), so
@@ -338,31 +395,34 @@ type Cell struct {
 }
 
 // Cells expands the normalized grid in deterministic row-major order:
-// scheduler (outermost) → bucket → profile → fault set → seed (innermost).
-// Fingerprints are left empty — the caller stamps them once it has built
-// each cell's effective configuration.
+// scheduler (outermost) → bucket → profile → fault set → cost set → seed
+// (innermost). Fingerprints are left empty — the caller stamps them once it
+// has built each cell's effective configuration.
 func (s Spec) Cells() []Cell {
 	n := s.Normalize()
 	if err := n.Validate(); err != nil {
 		return nil
 	}
-	out := make([]Cell, 0, len(n.Schedulers)*len(n.Buckets)*len(n.Profiles)*len(n.Faults)*len(n.Seeds))
+	out := make([]Cell, 0, len(n.Schedulers)*len(n.Buckets)*len(n.Profiles)*len(n.Faults)*len(n.Costs)*len(n.Seeds))
 	for _, sched := range n.Schedulers {
 		for _, bucket := range n.Buckets {
 			for _, prof := range n.Profiles {
 				for _, fault := range n.Faults {
-					for _, seed := range n.Seeds {
-						out = append(out, Cell{
-							Index:        len(out),
-							Scheduler:    sched,
-							Bucket:       bucket,
-							Profile:      prof.Name,
-							Fault:        fault.Name,
-							Seed:         seed,
-							WorkloadSeed: DeriveSeed(seed, "workload"),
-							NetSeed:      DeriveSeed(seed, "net"),
-							FaultSeed:    DeriveSeed(seed, "fault"),
-						})
+					for _, costSet := range n.Costs {
+						for _, seed := range n.Seeds {
+							out = append(out, Cell{
+								Index:        len(out),
+								Scheduler:    sched,
+								Bucket:       bucket,
+								Profile:      prof.Name,
+								Fault:        fault.Name,
+								Cost:         costSet.Name,
+								Seed:         seed,
+								WorkloadSeed: DeriveSeed(seed, "workload"),
+								NetSeed:      DeriveSeed(seed, "net"),
+								FaultSeed:    DeriveSeed(seed, "fault"),
+							})
+						}
 					}
 				}
 			}

@@ -162,3 +162,65 @@ func TestSpecLookups(t *testing.T) {
 		t.Fatal("zero fault set reports enabled")
 	}
 }
+
+func TestCostAxis(t *testing.T) {
+	data := []byte(`{
+		"schedulers": ["Op"],
+		"costs": [{"name": "free"}, {"name": "ondemand", "onDemandRate": 0.10, "budget": 0.5}]
+	}`)
+	spec, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	if cells[0].Cost != "free" || cells[1].Cost != "ondemand" {
+		t.Fatalf("cost axis order: %q, %q", cells[0].Cost, cells[1].Cost)
+	}
+	cs, ok := spec.CostSet("ondemand")
+	if !ok || cs.OnDemandRate != 0.10 || cs.Budget != 0.5 {
+		t.Fatalf("CostSet lookup: %+v ok=%v", cs, ok)
+	}
+	if !cs.Enabled() {
+		t.Fatal("priced cost set reports disabled")
+	}
+	free, _ := spec.CostSet("free")
+	if free.Enabled() {
+		t.Fatal("free cost set reports enabled")
+	}
+	if _, ok := spec.CostSet("nope"); ok {
+		t.Fatal("unknown cost set resolved")
+	}
+
+	// The default axis is a single free cost set.
+	n := Spec{}.Normalize()
+	if len(n.Costs) != 1 || n.Costs[0].Name != "free" || n.Costs[0].Enabled() {
+		t.Fatalf("default cost axis: %+v", n.Costs)
+	}
+}
+
+func TestCostAxisRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		data  string
+		field string
+	}{
+		{"blank cost name", `{"costs": [{"name": ""}]}`, "costs[0].name"},
+		{"duplicate cost", `{"costs": [{"name": "c"}, {"name": "c"}]}`, "costs[1].name"},
+		{"negative rate", `{"costs": [{"name": "c", "onDemandRate": -1}]}`, "costs[0].onDemandRate"},
+		{"negative spot", `{"costs": [{"name": "c", "spotRate": -1}]}`, "costs[0].spotRate"},
+		{"negative billing", `{"costs": [{"name": "c", "billingIntervalSec": -60}]}`, "costs[0].billingIntervalSec"},
+		{"negative budget", `{"costs": [{"name": "c", "budget": -5}]}`, "costs[0].budget"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.data))
+			var se *SpecError
+			if !errors.As(err, &se) || se.Field != tc.field {
+				t.Fatalf("err = %v, want SpecError on %s", err, tc.field)
+			}
+		})
+	}
+}

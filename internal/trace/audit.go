@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"cloudburst/internal/cost"
 )
 
 // The auditor replays an event stream and recomputes the paper's SLA
@@ -86,6 +88,22 @@ type Audit struct {
 	Mispredictions      []SlackCheck
 	AdmissionViolations []SlackCheck
 
+	// Cost replay, populated when the stream carries rental/accrual events.
+	// CostRental is the total rental spend re-derived from the paired
+	// RentalStarted/RentalEnded events through the shared billing formula
+	// (cost.BillSpan) — every carried bill and running total is compared to
+	// the recomputation within Epsilon. CostCommitted is the independently
+	// summed CostAccrued spend, and CostBudget the budget RunConfigured
+	// announced (0 = unlimited). RentalsOpen counts rentals never ended —
+	// zero for finite runs, which close out their fleets; a suspended or
+	// streaming prefix legitimately leaves rentals open.
+	CostAudited   bool
+	CostRental    float64
+	CostCommitted float64
+	CostBudget    float64
+	CostChecked   int
+	RentalsOpen   int
+
 	// Issues are structural inconsistencies in the stream itself. A healthy
 	// engine run always audits clean.
 	Issues []string
@@ -110,6 +128,14 @@ func (a *Audit) Summary() string {
 		a.Events, a.Deliveries, a.Arrivals, a.Chunks,
 		a.Makespan, a.Speedup, a.BurstRatio, 100*a.ICUtil, 100*a.ECUtil,
 		a.Checked, a.Bursted, len(a.Mispredictions), len(a.AdmissionViolations))
+	if a.CostAudited {
+		budget := "unlimited"
+		if a.CostBudget > 0 {
+			budget = fmt.Sprintf("%.4f", a.CostBudget)
+		}
+		s += fmt.Sprintf("  cost        rental %.4f over %d bills  committed %.4f  budget %s  open rentals %d\n",
+			a.CostRental, a.CostChecked, a.CostCommitted, budget, a.RentalsOpen)
+	}
 	if len(a.Issues) == 0 {
 		return s + "  integrity  clean\n"
 	}
@@ -164,6 +190,14 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 	ecRentals := make(map[int]*rental)           // machine ID → rental span
 	ecFatal := false
 
+	// Cost replay: every RentalEnded bill is re-derived from its paired
+	// RentalStarted through the same billing-interval rounding the engine's
+	// meter uses, and both amount and running total must agree within
+	// Epsilon. Committed spend is summed independently from CostAccrued.
+	var billingSec float64
+	openRent := make(map[machineKey]Event)
+	var rentalSum, committedSum float64
+
 	for _, ev := range events {
 		switch ev.Type {
 		case RunConfigured:
@@ -173,6 +207,8 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 			}
 			c := ev
 			cfg = &c
+			billingSec = ev.BillingSec
+			a.CostBudget = ev.Budget
 			for m := 0; m < ev.ECMachines; m++ {
 				ecRentals[m] = &rental{added: ev.T, retired: -1}
 			}
@@ -247,6 +283,44 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 			} else {
 				a.issuef("AutoscaleDrain of unknown machine %d at t=%.3f", ev.Machine, ev.T)
 			}
+		case RentalStarted:
+			a.CostAudited = true
+			k := machineKey{ev.Cluster, ev.Machine}
+			if _, open := openRent[k]; open {
+				a.issuef("machine %s/%d rented at t=%.3f while already rented", ev.Cluster, ev.Machine, ev.T)
+			}
+			openRent[k] = ev
+		case RentalEnded:
+			a.CostAudited = true
+			k := machineKey{ev.Cluster, ev.Machine}
+			st, open := openRent[k]
+			if !open {
+				a.issuef("rental on %s/%d ended at t=%.3f without a start", ev.Cluster, ev.Machine, ev.T)
+				continue
+			}
+			delete(openRent, k)
+			want := cost.BillSpan(st.T, ev.T, billingSec, st.Rate)
+			if d := ev.Amount - want; d > opt.Epsilon || d < -opt.Epsilon {
+				a.issuef("rental bill on %s/%d carries %.9f, replay computes %.9f",
+					ev.Cluster, ev.Machine, ev.Amount, want)
+			}
+			rentalSum += want
+			a.CostChecked++
+			if d := ev.Total - rentalSum; d > opt.Epsilon || d < -opt.Epsilon {
+				a.issuef("rental running total %.9f at t=%.3f, replay sums %.9f", ev.Total, ev.T, rentalSum)
+			}
+		case CostAccrued:
+			a.CostAudited = true
+			if ev.Amount < -opt.Epsilon {
+				a.issuef("negative cost accrual %.9f at t=%.3f", ev.Amount, ev.T)
+			}
+			committedSum += ev.Amount
+			if d := ev.Total - committedSum; d > opt.Epsilon || d < -opt.Epsilon {
+				a.issuef("committed running total %.9f at t=%.3f, replay sums %.9f", ev.Total, ev.T, committedSum)
+			}
+			if a.CostBudget > 0 && ev.Total > a.CostBudget+opt.Epsilon {
+				a.issuef("committed spend %.9f at t=%.3f exceeds budget %.9f", ev.Total, ev.T, a.CostBudget)
+			}
 		case JobDelivered:
 			if prev, dup := deliveries[ev.Seq]; dup {
 				a.issuef("duplicate delivery for seq %d (jobs %d and %d)", ev.Seq, prev.JobID, ev.JobID)
@@ -262,6 +336,9 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 	for k := range openCompute {
 		a.issuef("compute interval on %s/%d never ended", k.cluster, k.machine)
 	}
+	a.CostRental = rentalSum
+	a.CostCommitted = committedSum
+	a.RentalsOpen = len(openRent)
 
 	a.Deliveries = len(deliveredOrder)
 	if a.Deliveries == 0 {

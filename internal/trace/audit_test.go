@@ -280,3 +280,148 @@ func TestAuditEmptyAndDeliveryFree(t *testing.T) {
 		t.Fatal("delivery-free stream audited clean")
 	}
 }
+
+// pricedStream is the healthy stream with a cost model attached: the EC
+// machine on the clock for the whole run and the one burst's committed
+// charge, all consistent under hourly billing at $0.10.
+func pricedStream() []Event {
+	var out []Event
+	for _, ev := range healthyStream() {
+		if ev.Type == RunConfigured {
+			ev.BillingSec, ev.Rate, ev.Budget = 3600, 0.10, 1.0
+			out = append(out, ev,
+				Event{Type: RentalStarted, T: 0, JobID: -1, Cluster: "ec", Machine: 0, Rate: 0.10})
+			continue
+		}
+		out = append(out, ev)
+		if ev.Type == PlacementDecided && ev.JobID == 2 {
+			out = append(out, Event{Type: CostAccrued, T: ev.T, JobID: 2, Amount: 0.10, Total: 0.10, Budget: 1.0})
+		}
+	}
+	return append(out,
+		Event{Type: RentalEnded, T: 20, JobID: -1, Cluster: "ec", Machine: 0, Rate: 0.10, Amount: 0.10, Total: 0.10})
+}
+
+func TestAuditCostReplayClean(t *testing.T) {
+	a, err := AuditEvents(pricedStream(), AuditOptions{OOSampleInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK() {
+		t.Fatalf("priced stream flagged: %v", a.Issues)
+	}
+	if !a.CostAudited || a.CostChecked != 1 || a.RentalsOpen != 0 {
+		t.Fatalf("cost audit state: %+v", a)
+	}
+	if math.Abs(a.CostRental-0.10) > 1e-12 || math.Abs(a.CostCommitted-0.10) > 1e-12 {
+		t.Fatalf("replayed totals: rental %v committed %v", a.CostRental, a.CostCommitted)
+	}
+	if a.CostBudget != 1.0 {
+		t.Fatalf("budget = %v", a.CostBudget)
+	}
+	if !strings.Contains(a.Summary(), "cost") {
+		t.Fatalf("summary lacks the cost line: %s", a.Summary())
+	}
+}
+
+func TestAuditCostOpenRentalIsNotAnIssue(t *testing.T) {
+	// A suspended/streaming prefix legitimately leaves rentals open: the
+	// audit reports the count without flagging an issue.
+	evs := pricedStream()
+	evs = evs[:len(evs)-1] // drop the RentalEnded
+	a, err := AuditEvents(evs, AuditOptions{OOSampleInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK() {
+		t.Fatalf("open rental flagged: %v", a.Issues)
+	}
+	if a.RentalsOpen != 1 || a.CostRental != 0 {
+		t.Fatalf("open rentals %d, rental total %v", a.RentalsOpen, a.CostRental)
+	}
+}
+
+func TestAuditFlagsTamperedCostStreams(t *testing.T) {
+	tamper := func(f func([]Event) []Event) []Event { return f(pricedStream()) }
+	cases := []struct {
+		name string
+		evs  []Event
+		want string
+	}{
+		{
+			"tampered rental bill",
+			tamper(func(evs []Event) []Event {
+				evs[len(evs)-1].Amount = 0.09
+				return evs
+			}),
+			"replay computes",
+		},
+		{
+			"tampered rental running total",
+			tamper(func(evs []Event) []Event {
+				evs[len(evs)-1].Total = 0.30
+				return evs
+			}),
+			"replay sums",
+		},
+		{
+			"tampered committed total",
+			tamper(func(evs []Event) []Event {
+				for i := range evs {
+					if evs[i].Type == CostAccrued {
+						evs[i].Total = 0.42
+					}
+				}
+				return evs
+			}),
+			"committed running total",
+		},
+		{
+			"budget exceeded",
+			tamper(func(evs []Event) []Event {
+				for i := range evs {
+					if evs[i].Type == CostAccrued {
+						evs[i].Amount, evs[i].Total = 1.50, 1.50
+					}
+				}
+				return evs
+			}),
+			"exceeds budget",
+		},
+		{
+			"rental end without start",
+			tamper(func(evs []Event) []Event {
+				return append(evs, Event{Type: RentalEnded, T: 21, JobID: -1, Cluster: "ec", Machine: 9, Amount: 0.10, Total: 0.20})
+			}),
+			"without a start",
+		},
+		{
+			"double rental",
+			tamper(func(evs []Event) []Event {
+				return append(evs, Event{Type: RentalStarted, T: 21, JobID: -1, Cluster: "ic", Machine: 0, Rate: 0.10},
+					Event{Type: RentalStarted, T: 22, JobID: -1, Cluster: "ic", Machine: 0, Rate: 0.10})
+			}),
+			"already rented",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := AuditEvents(tc.evs, AuditOptions{OOSampleInterval: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.OK() {
+				t.Fatal("tampered cost stream audited clean")
+			}
+			found := false
+			for _, is := range a.Issues {
+				if strings.Contains(is, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no issue contains %q: %v", tc.want, a.Issues)
+			}
+		})
+	}
+}

@@ -82,6 +82,19 @@ const (
 	// JobFellBack records a recovered job abandoning the EC for the IC after
 	// exhausting retries or losing every EC machine.
 	JobFellBack
+	// RentalStarted marks an EC machine going on the rental clock at Rate —
+	// at run start for the initial fleet (and remote-site fleets), or when
+	// an autoscale boot lands. Only priced runs emit it.
+	RentalStarted
+	// RentalEnded marks a rental closing — autoscale drain, fatal
+	// revocation, or the run-end close-out — carrying the billed Amount
+	// (the span rounded up to whole billing intervals at the rental's
+	// rate) and the running rental Total.
+	RentalEnded
+	// CostAccrued records one admitted burst's committed charge: Amount is
+	// the prepaid reservation for the job's projected EC occupancy, Total
+	// the monotone committed spend the budget gate bounds.
+	CostAccrued
 
 	numEventTypes // sentinel
 )
@@ -110,6 +123,9 @@ var eventTypeNames = [numEventTypes]string{
 	TransferAborted:  "TransferAborted",
 	JobRetried:       "JobRetried",
 	JobFellBack:      "JobFellBack",
+	RentalStarted:    "RentalStarted",
+	RentalEnded:      "RentalEnded",
+	CostAccrued:      "CostAccrued",
 }
 
 // String names the event type.
@@ -214,6 +230,16 @@ type Event struct {
 	// emitter predates the field. Invariant checkers bound every observed
 	// transfer bandwidth by it.
 	LinkBWCeiling float64 `json:"linkBWCeiling,omitempty"`
+
+	// Cost accounting (RentalStarted/RentalEnded/CostAccrued, plus Budget
+	// and BillingSec on RunConfigured so auditors can replay pricing from
+	// the stream alone). Rate is $/machine-hour; Amount is the event's
+	// billed or committed charge and Total the corresponding running sum.
+	Rate       float64 `json:"rate,omitempty"`
+	Amount     float64 `json:"amount,omitempty"`
+	Total      float64 `json:"total,omitempty"`
+	Budget     float64 `json:"budget,omitempty"`
+	BillingSec float64 `json:"billingSec,omitempty"`
 }
 
 // Tracer receives the event stream. Implementations must not retain

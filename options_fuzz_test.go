@@ -15,18 +15,19 @@ import (
 func FuzzOptionsValidate(f *testing.F) {
 	// Seed corpus: the zero config, the paper testbed, and one hit for each
 	// validation family (negative counts, out-of-range ratios, autoscale
-	// inconsistencies, fault options).
-	f.Add(0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0, "", "")
-	f.Add(6, 15.0, 8, 2, 614400.0, 0.3, 0.15, 0.0, 0.0, 0, 2, 0.0, 0.0, 0.0, 2, "Op", "uniform")
-	f.Add(-1, -2.0, -3, -4, -5.0, 1.5, -0.1, -6.0, 1.2, -1, -2, -7.0, -8.0, -9.0, -1, "nope", "nope")
-	f.Add(2, 4.0, 8, 5, 0.0, 0.0, 0.0, 300.0, 0.5, 2, 0, 0.0, 0.0, 0.0, 0, "SIBS", "large")
-	f.Add(2, 4.0, 8, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 4, 1, 150.0, 600.0, 300.0, 3, "Greedy", "small")
+	// inconsistencies, fault options, cost options).
+	f.Add(0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0, 0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, "", "")
+	f.Add(6, 15.0, 8, 2, 614400.0, 0.3, 0.15, 0.0, 0.0, 0, 2, 0.0, 0.0, 0.0, 2, 0.10, 0.03, 3600.0, 1.0, 0.08, "Op", "uniform")
+	f.Add(-1, -2.0, -3, -4, -5.0, 1.5, -0.1, -6.0, 1.2, -1, -2, -7.0, -8.0, -9.0, -1, -0.1, -0.2, -60.0, -1.0, -0.3, "nope", "nope")
+	f.Add(2, 4.0, 8, 5, 0.0, 0.0, 0.0, 300.0, 0.5, 2, 0, 0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, "SIBS", "large")
+	f.Add(2, 4.0, 8, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 4, 1, 150.0, 600.0, 300.0, 3, 0.10, 0.0, 60.0, 0.25, 0.0, "Greedy", "small")
 
 	f.Fuzz(func(t *testing.T,
 		batches int, meanJobs float64, icM, ecM int,
 		upBW, amp, jitter, outageMTBF, throttle float64,
 		autoMax, siteMachines int,
 		ecRevMTBF, icCrashMTBF, icCrashMTTR float64, maxRetries int,
+		costRate, spotRate, billing, budget, siteRate float64,
 		schedName, bucketName string,
 	) {
 		o := Options{
@@ -42,12 +43,18 @@ func FuzzOptionsValidate(f *testing.F) {
 			OutageMTBF:       outageMTBF,
 			OutageThrottle:   throttle,
 			AutoscaleECMax:   autoMax,
-			ExtraECSites:     []ECSiteSpec{{Machines: siteMachines}},
+			ExtraECSites:     []ECSiteSpec{{Machines: siteMachines, OnDemandRate: siteRate}},
 			Faults: &FaultOptions{
 				ECRevocationMTBF: ecRevMTBF,
 				ICCrashMTBF:      icCrashMTBF,
 				ICCrashMTTR:      icCrashMTTR,
 				MaxRetries:       maxRetries,
+			},
+			Cost: &CostOptions{
+				OnDemandRate:       costRate,
+				SpotRate:           spotRate,
+				BillingIntervalSec: billing,
+				Budget:             budget,
 			},
 		}
 

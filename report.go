@@ -50,6 +50,15 @@ type Report struct {
 	SiteBursts []int
 	SiteUtils  []float64
 
+	// Cost accounting (all zero unless Options.Cost armed the pricing
+	// model). CostRental is the billing-rounded rental bill of every
+	// external machine held; CostCommitted the prepaid spend the budget
+	// gate metered over admitted bursts; CostBudget echoes the configured
+	// cap (0 = unlimited).
+	CostRental    float64
+	CostCommitted float64
+	CostBudget    float64
+
 	// Fault-injection accounting (all zero unless Options.Faults armed a
 	// fault source). Retries counts re-admissions of disturbed jobs;
 	// Fallbacks counts jobs that abandoned the EC for the internal cloud.
@@ -93,6 +102,9 @@ func newReport(o Options, res *engine.Result, rec *TraceRecorder) *Report {
 		TransferAborts:   res.TransferAborts,
 		Retries:          res.Retries,
 		Fallbacks:        res.Fallbacks,
+		CostRental:       res.CostRental,
+		CostCommitted:    res.CostCommitted,
+		CostBudget:       res.CostBudget,
 		opts:             o,
 		res:              res,
 		rec:              rec,
@@ -136,6 +148,14 @@ func (r *Report) String() string {
 	if r.opts.Faults != nil {
 		fmt.Fprintf(&b, "  faults     %d EC revoked, %d IC crashes, %d stalls/%d aborts → %d retries, %d fallbacks\n",
 			r.ECRevocations, r.ICCrashes, r.TransferStalls, r.TransferAborts, r.Retries, r.Fallbacks)
+	}
+	if r.opts.Cost != nil {
+		budget := "unlimited"
+		if r.CostBudget > 0 {
+			budget = fmt.Sprintf("$%.2f", r.CostBudget)
+		}
+		fmt.Fprintf(&b, "  cost       $%.4f rental, $%.4f committed of %s budget\n",
+			r.CostRental, r.CostCommitted, budget)
 	}
 	return b.String()
 }

@@ -19,6 +19,9 @@ type SweepProfile = sweep.Profile
 // SweepFaultSet is one named fault-injection regime of a sweep grid.
 type SweepFaultSet = sweep.FaultSet
 
+// SweepCostSet is one named pricing regime of a sweep grid.
+type SweepCostSet = sweep.CostSet
+
 // SweepCell is one expanded grid point with its derived seeds.
 type SweepCell = sweep.Cell
 
@@ -47,6 +50,16 @@ func ParseSweepSpec(data []byte) (*SweepSpec, error) { return sweep.ParseSpec(da
 // per group (mean, stddev, min, max) in first-appearance order.
 func AggregateSweep(results []SweepResult, keyOf func(SweepCell) string) []SweepGroup {
 	return sweep.Aggregate(results, keyOf)
+}
+
+// SweepParetoPoint is one cell on the cost-vs-makespan frontier.
+type SweepParetoPoint = sweep.ParetoPoint
+
+// SweepParetoFront extracts the non-dominated subset of sweep results over
+// (rental cost, makespan), both minimized, sorted by ascending cost — the
+// frontier an operator picks a budget from.
+func SweepParetoFront(results []SweepResult) []SweepParetoPoint {
+	return sweep.ParetoFront(results)
 }
 
 // SweepConfig tunes sweep execution. The zero value runs on GOMAXPROCS
@@ -118,6 +131,22 @@ func CellOptions(spec SweepSpec, c SweepCell) (Options, error) {
 			Seed:                 c.FaultSeed,
 		}
 	}
+	// Cells planned before the cost axis existed carry no cost name; they
+	// keep pricing off rather than failing the lookup.
+	if c.Cost != "" {
+		costSet, ok := spec.CostSet(c.Cost)
+		if !ok {
+			return Options{}, &SweepSpecError{Field: "costs", Reason: fmt.Sprintf("cell %d names unknown cost set %q", c.Index, c.Cost)}
+		}
+		if costSet.Enabled() {
+			o.Cost = &CostOptions{
+				OnDemandRate:       costSet.OnDemandRate,
+				SpotRate:           costSet.SpotRate,
+				BillingIntervalSec: costSet.BillingIntervalSec,
+				Budget:             costSet.Budget,
+			}
+		}
+	}
 	return o, nil
 }
 
@@ -158,12 +187,16 @@ func (o Options) Fingerprint() string {
 	fmt.Fprintf(&b, "|asmax=%d|asboot=%g|aswait=%g|ootol=%d|oosamp=%g",
 		n.AutoscaleECMax, n.AutoscaleBootDelay, n.AutoscaleTargetWait, n.OOToleranceJobs, n.OOSampleInterval)
 	for _, s := range n.ExtraECSites {
-		fmt.Fprintf(&b, "|site=%d,%g,%g,%g", s.Machines, s.UploadMeanBW, s.DownloadMeanBW, s.JitterCV)
+		fmt.Fprintf(&b, "|site=%d,%g,%g,%g,%g", s.Machines, s.UploadMeanBW, s.DownloadMeanBW, s.JitterCV, s.OnDemandRate)
 	}
 	if f := n.Faults; f != nil {
 		fmt.Fprintf(&b, "|faults=%g,%g,%g,%g,%g,%g,%d,%g,%d",
 			f.ECRevocationMTBF, f.ECRevocationWarning, f.ICCrashMTBF, f.ICCrashMTTR,
 			f.TransferStallMTBF, f.TransferStallTimeout, f.MaxRetries, f.RetryBackoff, f.Seed)
+	}
+	if c := n.Cost; c != nil {
+		fmt.Fprintf(&b, "|cost=%g,%g,%g,%g",
+			c.OnDemandRate, c.SpotRate, c.BillingIntervalSec, c.Budget)
 	}
 	return b.String()
 }
@@ -184,6 +217,9 @@ func sweepMetrics(r *Report) SweepMetrics {
 		ECMachineSeconds: r.ECMachineSeconds,
 		Retries:          r.Retries,
 		Fallbacks:        r.Fallbacks,
+		CostRental:       r.CostRental,
+		CostCommitted:    r.CostCommitted,
+		CostBudget:       r.CostBudget,
 	}
 }
 
