@@ -317,34 +317,47 @@ func runAdvise(path string) {
 		fatal(err)
 	}
 	fmt.Printf("%d scenario(s) compared from %s\n", len(advice), path)
-	sawStandIn := false
+	sawEstimated := false
 	for _, a := range advice {
 		fmt.Printf("\nscenario %s\n", a.Scenario)
 		base := "baseline"
-		if !a.BaselineIsICOnly {
-			base, sawStandIn = "baseline*", true
+		if a.Estimated {
+			base, sawEstimated = "baseline*", true
 		}
 		fmt.Printf("  %-9s %-14s makespan %8.0fs\n", base, a.Baseline.Sched, a.Baseline.Metrics.Makespan)
 		fmt.Printf("  %-9s %-14s makespan %8.0fs", "best", a.Best.Sched, a.Best.Metrics.Makespan)
 		if a.SecondsSaved > 0 {
-			fmt.Printf("  saves %.0fs", a.SecondsSaved)
+			if a.Estimated {
+				fmt.Printf("  saves ~%.0fs (estimated)", a.SecondsSaved)
+			} else {
+				fmt.Printf("  saves %.0fs", a.SecondsSaved)
+			}
 		}
 		fmt.Println()
 		if a.Best.Metrics.CostRental > 0 {
 			fmt.Printf("  rental $%.4f", a.Best.Metrics.CostRental)
 			if a.CostPerHourSaved > 0 {
-				fmt.Printf(" ($%.2f per hour saved)", a.CostPerHourSaved)
+				if a.Estimated {
+					fmt.Printf(" (~$%.2f per hour saved, estimated)", a.CostPerHourSaved)
+				} else {
+					fmt.Printf(" ($%.2f per hour saved)", a.CostPerHourSaved)
+				}
 			}
 			fmt.Println()
 		}
-		if a.Burst {
-			fmt.Println("  recommendation: burst")
-		} else {
-			fmt.Println("  recommendation: stay internal")
+		rec := "burst"
+		if !a.Burst {
+			rec = "stay internal"
 		}
+		if a.Estimated {
+			rec += " (estimated baseline)"
+		}
+		fmt.Println("  recommendation: " + rec)
 	}
-	if sawStandIn {
-		fmt.Println("\n* no ICOnly record in this scenario; slowest bursting run stands in")
+	if sawEstimated {
+		fmt.Println("\n* estimated baseline: no ICOnly record in this scenario, so the slowest" +
+			"\n  bursting run stands in — figures compare bursting strategies against each" +
+			"\n  other, not bursting against a measured no-burst run")
 	}
 }
 

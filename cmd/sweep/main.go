@@ -10,6 +10,14 @@
 //	sweep -schedulers Op -profiles paper,highvar -seeds 8 -resume sweep.manifest
 //	sweep -schedulers Op,SIBS -faults ec-revoke -seeds 4 -agg
 //	sweep -schedulers Op -costs ondemand,budget -seeds 4 -pareto frontier.jsonl
+//	sweep -search speedup-collapse -axis jitter -min 0.05 -max 3 -frontier frontier.jsonl
+//
+// With -search the command runs the adaptive frontier search instead of a
+// grid: it bisects the chosen axis between -min and -max to localize where
+// each named predicate first fails, hill-climbs replication seeds at the
+// located frontier, and writes the frontier artifact as JSON lines. The
+// grid flags still select the base configuration (the first cell of the
+// grid the flags would have declared).
 //
 // Interrupting a sweep (Ctrl-C) leaves every completed cell in the resume
 // manifest; re-running the identical invocation with the same -resume path
@@ -77,6 +85,15 @@ func main() {
 		margin     = flag.Float64("margin", 0, "slack safety margin tau (seconds)")
 		resched    = flag.Bool("resched", false, "enable rescheduling strategies (Sec. IV-D)")
 
+		searchPreds = flag.String("search", "", "run a frontier search instead of a grid sweep: comma-separated predicates ("+strings.Join(cloudburst.SearchPredicates(), ", ")+"), or 'all'")
+		axis        = flag.String("axis", "jitter", "search axis: "+strings.Join(cloudburst.SearchAxes(), ", "))
+		axisMin     = flag.Float64("min", 0, "search bracket lower endpoint (must be positive)")
+		axisMax     = flag.Float64("max", 0, "search bracket upper endpoint")
+		axisTol     = flag.Float64("tol", 0, "bracket width that counts as localized (0 = 1/64 of the bracket)")
+		climb       = flag.Int("climb", 0, "worst-seed hill-climb candidates per frontier (0 = default 4, negative = off)")
+		maxProbes   = flag.Int("max-probes", 0, "bisection probe budget per predicate (0 = default 64)")
+		frontier    = flag.String("frontier", "", "write the frontier rows to this file as JSON lines")
+
 		out      = flag.String("out", "", "stream per-cell results to this file as JSON lines")
 		csvOut   = flag.String("csv", "", "stream per-cell results to this file as CSV")
 		resume   = flag.String("resume", "", "crash-safe manifest path: completed cells are journaled here and never re-run")
@@ -97,6 +114,16 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *searchPreds != "" {
+		runSearch(spec, searchFlags{
+			predicates: *searchPreds, axis: *axis,
+			min: *axisMin, max: *axisMax, tol: *axisTol,
+			seed: *seedBase, climb: *climb, maxProbes: *maxProbes,
+			frontier: *frontier, resume: *resume, quiet: *quiet,
+		})
+		return
 	}
 
 	cfg := cloudburst.SweepConfig{Workers: *workers, ManifestPath: *resume}
@@ -215,6 +242,95 @@ func buildSpec(path string, f specFlags) (*cloudburst.SweepSpec, error) {
 		return nil, err
 	}
 	return &spec, nil
+}
+
+// searchFlags carries the frontier-search flags into runSearch.
+type searchFlags struct {
+	predicates, axis string
+	min, max, tol    float64
+	seed             int64
+	climb, maxProbes int
+	frontier, resume string
+	quiet            bool
+}
+
+// runSearch executes the adaptive frontier search: the grid flags supply
+// the base configuration (the first cell of the declared grid), the
+// search flags the axis, bracket and predicate set.
+func runSearch(spec *cloudburst.SweepSpec, f searchFlags) {
+	cells := spec.Cells()
+	if len(cells) == 0 {
+		fatal(fmt.Errorf("sweep: the grid flags declare no base configuration"))
+	}
+	base, err := cloudburst.CellOptions(*spec, cells[0])
+	if err != nil {
+		fatal(err)
+	}
+	var preds []string
+	if f.predicates != "all" {
+		preds = splitList(f.predicates)
+	}
+	sspec := cloudburst.SearchSpec{
+		Base:       base,
+		Axis:       f.axis,
+		Min:        f.min,
+		Max:        f.max,
+		Tolerance:  f.tol,
+		Predicates: preds,
+		Seed:       f.seed,
+		ClimbSeeds: f.climb,
+		MaxProbes:  f.maxProbes,
+	}
+
+	cfg := cloudburst.SearchConfig{ManifestPath: f.resume}
+	totalProbes, totalCached := 0, 0
+	cfg.Progress = func(probes, cached int) {
+		totalProbes, totalCached = probes, cached
+		if !f.quiet {
+			fmt.Fprintf(os.Stderr, "\rsearch: %d probes (%d cached)", probes, cached)
+		}
+	}
+	var closeFrontier func() error
+	if f.frontier != "" {
+		out, err := os.Create(f.frontier)
+		if err != nil {
+			fatal(err)
+		}
+		closeFrontier = out.Close
+		cfg.JSONL = out
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rows, err := cloudburst.SearchContext(ctx, sspec, cfg)
+	if closeFrontier != nil {
+		closeFrontier()
+	}
+	if !f.quiet && totalProbes > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("probes: %d executed, %d cached\n", totalProbes-totalCached, totalCached)
+	for _, r := range rows {
+		if !r.Crossed {
+			side := "neither end"
+			if r.LoHolds {
+				side = "both ends"
+			}
+			fmt.Printf("%-20s no crossing in %s [%g, %g] (holds at %s; %d probes)\n",
+				r.Predicate, r.Axis, r.LoValue, r.HiValue, side, r.Probes)
+			continue
+		}
+		fmt.Printf("%-20s crossing at %s ~ %g (bracket [%g, %g], %d probes)\n",
+			r.Predicate, r.Axis, r.Crossing, r.LoValue, r.HiValue, r.Probes)
+		if r.WorstSeed != 0 {
+			fmt.Printf("%-20s   worst seed %d  margin %.4f  makespan %.0fs  speedup %.2f\n",
+				"", r.WorstSeed, r.WorstMargin, r.WorstMetrics.Makespan, r.WorstMetrics.Speedup)
+		}
+	}
 }
 
 // writePareto emits the frontier as JSON lines, one point per line in

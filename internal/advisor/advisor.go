@@ -97,6 +97,13 @@ type Advice struct {
 	// flagged by BaselineIsICOnly=false).
 	Baseline         Entry
 	BaselineIsICOnly bool
+	// Estimated marks a stand-in baseline: the history has no ICOnly run
+	// for this scenario, so SecondsSaved and CostPerHourSaved compare the
+	// best bursting run against the slowest one — the spread between
+	// bursting strategies, not a measured gain over keeping everything on
+	// the internal cloud. Consumers must present these figures as
+	// estimates, never as measured savings.
+	Estimated bool
 	// Best is the fastest bursting record of the scenario.
 	Best Entry
 	// Burst is the recommendation: the best bursting run beat the baseline
@@ -105,7 +112,7 @@ type Advice struct {
 	// SecondsSaved is baseline minus best makespan (positive = bursting
 	// helped). CostPerHourSaved prices that gain from the best run's rental
 	// spend; 0 when the history carries no cost figures or nothing was
-	// saved.
+	// saved. Both are estimates when Estimated is set.
 	SecondsSaved     float64
 	CostPerHourSaved float64
 }
@@ -162,6 +169,7 @@ func Advise(entries []Entry) []Advice {
 		if !haveBest {
 			continue // ICOnly-only scenario: nothing bursted
 		}
+		a.Estimated = !a.BaselineIsICOnly
 		a.SecondsSaved = a.Baseline.Metrics.Makespan - a.Best.Metrics.Makespan
 		withinBudget := a.Best.Metrics.CostBudget <= 0 ||
 			a.Best.Metrics.CostCommitted <= a.Best.Metrics.CostBudget

@@ -115,6 +115,24 @@ func TestAdviseSlowestBursterStandIn(t *testing.T) {
 	if a.SecondsSaved != 80 || !a.Burst {
 		t.Fatalf("advice = %+v", a)
 	}
+	// The stand-in baseline only measures the spread between bursting
+	// strategies — the advice must be flagged as an estimate.
+	if !a.Estimated {
+		t.Fatalf("stand-in baseline not flagged as estimated: %+v", a)
+	}
+}
+
+func TestAdviseMeasuredBaselineNotEstimated(t *testing.T) {
+	advice := Advise([]Entry{
+		entry("ICOnly", "bucket=small", 600, sweep.Metrics{}),
+		entry("Op", "bucket=small", 420, sweep.Metrics{}),
+	})
+	if len(advice) != 1 {
+		t.Fatalf("advice = %+v", advice)
+	}
+	if a := advice[0]; !a.BaselineIsICOnly || a.Estimated {
+		t.Fatalf("measured ICOnly baseline flagged as estimated: %+v", a)
+	}
 }
 
 func TestAdviseNoGainStaysInternal(t *testing.T) {

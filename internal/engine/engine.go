@@ -258,6 +258,10 @@ type Result struct {
 	CostRental    float64
 	CostCommitted float64
 	CostBudget    float64
+	// BudgetDenials counts jobs the budget gate kept on the IC against the
+	// scheduler's preference — the "budget-forced fallback" signal the
+	// frontier search bisects for.
+	BudgetDenials int
 }
 
 // ErrTimeout is returned when a run exceeds Config.MaxVirtualTime,
@@ -391,6 +395,11 @@ type Engine struct {
 	aborts   int
 	retries  int
 	fallbks  int
+
+	// budgetDenied counts jobs the cost model's admission gate forced onto
+	// the IC (the scheduler wanted to burst them, but the estimated charge
+	// would overrun the remaining budget).
+	budgetDenied int
 
 	// streaming marks an open-ended Serve run: jobs keep arriving for as
 	// long as the source feeds, so completed queue slots are released from

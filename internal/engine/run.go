@@ -383,6 +383,9 @@ func (e *Engine) onBatch(b workload.Batch) {
 	}
 
 	for _, d := range decisions {
+		if d.BudgetDenied {
+			e.budgetDenied++
+		}
 		js := e.newJobState()
 		*js = jobState{j: d.Job, seq: e.seqNext, place: d.Place}
 		e.seqNext++
@@ -625,6 +628,7 @@ func (e *Engine) resultFrom(tseq float64, originalJobs int) *Result {
 		TransferAborts:        e.aborts,
 		Retries:               e.retries,
 		Fallbacks:             e.fallbks,
+		BudgetDenials:         e.budgetDenied,
 	}
 	if e.icFaults != nil {
 		r.ICCrashes = e.icFaults.Failures()

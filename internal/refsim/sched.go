@@ -228,7 +228,7 @@ func (Greedy) Schedule(batch []*job.Job, st *sched.State, alloc job.IDAllocator)
 		} else {
 			d.Place = sched.PlaceIC
 			if math.IsInf(tec, 1) || overBudget {
-				d.EstEC, d.Gated = 0, false
+				d.EstEC, d.Gated, d.BudgetDenied = 0, false, overBudget
 			}
 		}
 		out = append(out, d)
@@ -310,7 +310,7 @@ func placeWithSlack(jobs []*job.Job, st *sched.State, cfg sched.Config) []sched.
 				maxICCompletion = done
 			}
 			if math.IsInf(tec, 1) || overBudget {
-				d.EstEC, d.Gated = 0, false
+				d.EstEC, d.Gated, d.BudgetDenied = 0, false, overBudget
 			}
 		}
 		out = append(out, d)

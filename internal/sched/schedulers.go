@@ -74,7 +74,7 @@ func (Greedy) Schedule(batch []*job.Job, st *State, alloc job.IDAllocator) []Dec
 				// overrode the comparison: either way there was no admissible
 				// EstEC-vs-Threshold decision, and +Inf must not reach the
 				// trace stream.
-				d.EstEC, d.Gated = 0, false
+				d.EstEC, d.Gated, d.BudgetDenied = 0, false, overBudget
 			}
 		}
 		out = append(out, d)
@@ -119,7 +119,7 @@ func (GreedyTracking) Schedule(batch []*job.Job, st *State, alloc job.IDAllocato
 			ic.add(est, 0)
 			d.Place = PlaceIC
 			if math.IsInf(tec, 1) || overBudget {
-				d.EstEC, d.Gated = 0, false
+				d.EstEC, d.Gated, d.BudgetDenied = 0, false, overBudget
 			}
 		}
 		out = append(out, d)
@@ -263,7 +263,7 @@ func placeWithSlack(jobs []*job.Job, st *State, cfg Config) []Decision {
 				maxICCompletion = done
 			}
 			if math.IsInf(tec, 1) || overBudget {
-				d.EstEC, d.Gated = 0, false
+				d.EstEC, d.Gated, d.BudgetDenied = 0, false, overBudget
 			}
 		}
 		out = append(out, d)

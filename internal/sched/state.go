@@ -53,6 +53,13 @@ type Decision struct {
 	EstEC      float64
 	Threshold  float64
 	Gated      bool
+
+	// BudgetDenied marks an IC placement forced by the cost model's
+	// admission gate: the scheduler wanted to burst this job, but the
+	// estimated charge would overrun the remaining budget. Distinguishes
+	// budget-forced fallbacks from ordinary IC placements and from the
+	// no-viable-pipeline case (both also leave Gated false).
+	BudgetDenied bool
 }
 
 // State is the observable system state a scheduler may consult: local queue

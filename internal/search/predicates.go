@@ -1,0 +1,107 @@
+package search
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"cloudburst/internal/sweep"
+)
+
+// StagnationFraction is the out-of-order stagnation threshold: the
+// oo-stagnation predicate holds when the in-order consumer spent more
+// than this fraction of the makespan stalled waiting for a missing
+// output.
+const StagnationFraction = 0.25
+
+// Presets returns the built-in predicate set, in canonical order: the
+// SLA-violation conditions the metamorphic property suite asserts never
+// happen on the declared grids, which the search makes earn their keep on
+// scenarios no grid included.
+func Presets() []Predicate {
+	return []Predicate{
+		{
+			// The paper's headline guarantee inverted: bursting made the
+			// workload slower than one sequential standard machine.
+			Name:   "speedup-collapse",
+			Margin: func(m sweep.Metrics) float64 { return 1 - m.Speedup },
+		},
+		{
+			// The slack rule (eq. 1-2) audited after the fact: an admitted
+			// burst whose realized round trip overran its admission
+			// threshold. Needs the audit stream — an unaudited zero means
+			// "not measured", not "no violations".
+			Name:       "admission-violation",
+			NeedsAudit: true,
+			Margin:     func(m sweep.Metrics) float64 { return float64(m.AdmissionViolations) },
+		},
+		{
+			// The cost model's admission gate overrode the scheduler: jobs
+			// it wanted to burst ran on the IC because the budget was
+			// exhausted.
+			Name:   "budget-fallback",
+			Margin: func(m sweep.Metrics) float64 { return float64(m.BudgetDenials) },
+		},
+		{
+			// Order-preserving delivery stagnated: the in-order consumer
+			// spent more than StagnationFraction of the run waiting.
+			Name: "oo-stagnation",
+			Margin: func(m sweep.Metrics) float64 {
+				if m.Makespan <= 0 {
+					return 0
+				}
+				return m.TotalStall/m.Makespan - StagnationFraction
+			},
+		},
+	}
+}
+
+// PresetNames returns the built-in predicate names in canonical order.
+func PresetNames() []string {
+	presets := Presets()
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// PresetSet resolves predicate names against the built-in registry,
+// preserving the requested order. An empty name list selects every
+// preset; unknown or duplicate names are rejected with a typed *Error.
+func PresetSet(names []string) ([]Predicate, error) {
+	if len(names) == 0 {
+		return Presets(), nil
+	}
+	byName := make(map[string]Predicate)
+	for _, p := range Presets() {
+		byName[p.Name] = p
+	}
+	out := make([]Predicate, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		p, ok := byName[name]
+		if !ok {
+			return nil, searchErr("predicates", "unknown predicate %q (want %s)", name, strings.Join(PresetNames(), ", "))
+		}
+		if seen[name] {
+			return nil, searchErr("predicates", "duplicate predicate %q", name)
+		}
+		seen[name] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteRows emits the frontier artifact as JSON lines, one row per line
+// in predicate order. Two runs of the same search — fresh, resumed, or
+// fully cached — produce byte-identical output.
+func WriteRows(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 )
 
@@ -110,3 +111,72 @@ func (m *Manifest) Append(c Cell, v Metrics) error {
 
 // Close releases the underlying file.
 func (m *Manifest) Close() error { return m.f.Close() }
+
+// ResumeMismatchError reports a resume manifest whose records come from the
+// same grid priced differently: a recorded fingerprint and a planned one
+// are identical except for the pricing (|cost=) suffix. Resuming across
+// that boundary would silently re-execute every cell (the repriced
+// fingerprints never match the old records) while leaving the stale rows
+// mixed into the manifest, so the sweep refuses and names both forms.
+type ResumeMismatchError struct {
+	RecordedFP string // the fingerprint on record in the manifest
+	PlannedFP  string // the planned fingerprint it shadows
+}
+
+// Error renders the conventional sweep-prefixed message naming both
+// fingerprint forms.
+func (e *ResumeMismatchError) Error() string {
+	return fmt.Sprintf("sweep: resume manifest was written under a different pricing model: recorded cell %q and planned cell %q differ only by the |cost= suffix; use a fresh manifest path for the repriced spec", e.RecordedFP, e.PlannedFP)
+}
+
+// CheckPlanned guards a resume against the priced/unpriced fingerprint
+// trap: Options.Fingerprint appends the |cost= suffix only when pricing is
+// armed, so a manifest written by an unpriced run of a now-priced spec (or
+// the reverse) shares no fingerprints with the plan and would silently
+// re-execute everything with stale rows left behind. A recorded fingerprint
+// that is not planned, but whose cost-stripped form matches a planned cell
+// that the manifest does not satisfy, is such a shadow; CheckPlanned
+// returns a *ResumeMismatchError naming both forms. Legitimately mixed
+// grids (a Costs axis spanning free and priced sets) plan both forms
+// directly and pass.
+func (m *Manifest) CheckPlanned(cells []Cell) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	planned := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if c.Fingerprint != "" {
+			planned[c.Fingerprint] = true
+		}
+	}
+	// Cost-stripped forms of the planned cells the manifest cannot serve.
+	unsatisfied := make(map[string]string)
+	for fp := range planned {
+		if _, ok := m.have[fp]; !ok {
+			unsatisfied[stripCostFP(fp)] = fp
+		}
+	}
+	for fp := range m.have {
+		if planned[fp] {
+			continue
+		}
+		if shadowed, ok := unsatisfied[stripCostFP(fp)]; ok && shadowed != fp {
+			return &ResumeMismatchError{RecordedFP: fp, PlannedFP: shadowed}
+		}
+	}
+	return nil
+}
+
+// stripCostFP removes the cost= segment from a pipe-delimited
+// configuration fingerprint, yielding the form an unpriced run of the same
+// configuration would have produced.
+func stripCostFP(fp string) string {
+	parts := strings.Split(fp, "|")
+	rest := parts[:0]
+	for _, p := range parts {
+		if strings.HasPrefix(p, "cost=") {
+			continue
+		}
+		rest = append(rest, p)
+	}
+	return strings.Join(rest, "|")
+}

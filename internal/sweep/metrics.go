@@ -27,6 +27,20 @@ type Metrics struct {
 	CostRental    float64 `json:"costRental,omitempty"`
 	CostCommitted float64 `json:"costCommitted,omitempty"`
 	CostBudget    float64 `json:"costBudget,omitempty"`
+
+	// BudgetDenials counts jobs the budget gate forced onto the IC against
+	// the scheduler's preference.
+	BudgetDenials int `json:"budgetDenials,omitempty"`
+
+	// AdmissionViolations is the audit's count of admitted bursts whose
+	// realized round trip overran the admission threshold. It is only
+	// measured when the producing run recorded its event stream; Audited
+	// distinguishes a measured zero from "not measured". Consumers that
+	// depend on audit-derived fields (the frontier search's
+	// admission-violation predicate) must reject unaudited records instead
+	// of trusting their zeros.
+	AdmissionViolations int  `json:"admissionViolations,omitempty"`
+	Audited             bool `json:"audited,omitempty"`
 }
 
 // metricDefs fixes the canonical metric order used by CSV columns and the
@@ -51,6 +65,8 @@ var metricDefs = []struct {
 	{"cost_rental", func(m Metrics) float64 { return m.CostRental }},
 	{"cost_committed", func(m Metrics) float64 { return m.CostCommitted }},
 	{"cost_budget", func(m Metrics) float64 { return m.CostBudget }},
+	{"budget_denials", func(m Metrics) float64 { return float64(m.BudgetDenials) }},
+	{"admission_violations", func(m Metrics) float64 { return float64(m.AdmissionViolations) }},
 }
 
 // MetricNames returns the canonical metric column order.

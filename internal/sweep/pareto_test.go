@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 )
@@ -58,4 +59,51 @@ func TestParetoFrontEmpty(t *testing.T) {
 	if front := ParetoFront(nil); front != nil {
 		t.Fatalf("empty input yields %+v", front)
 	}
+}
+
+func TestParetoFrontDuplicateGroupsShuffled(t *testing.T) {
+	// Three clusters stress the tie-breaking rules: an equal-cost group
+	// (only its fastest member survives), an equal-makespan group (only its
+	// cheapest member survives), and an exact-duplicate pair on the frontier
+	// (lowest index survives). The outcome must not depend on input order.
+	results := []Result{
+		// Equal cost 0.10: indices 1, 2, 3 share the price; 2 is fastest.
+		paretoResult(1, 0.10, 300),
+		paretoResult(2, 0.10, 240),
+		paretoResult(3, 0.10, 260),
+		// Equal makespan 200: indices 4, 5, 6 tie on speed; 4 is cheapest.
+		paretoResult(4, 0.20, 200),
+		paretoResult(5, 0.30, 200),
+		paretoResult(6, 0.25, 200),
+		// Exact duplicates at the cheap end of the frontier.
+		paretoResult(7, 0.00, 400),
+		paretoResult(8, 0.00, 400),
+		// A strictly dominated straggler.
+		paretoResult(9, 0.40, 500),
+	}
+	want := []int{7, 2, 4}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Result(nil), results...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		front := ParetoFront(shuffled)
+		got := make([]int, len(front))
+		for i, p := range front {
+			got[i] = p.Cell.Index
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: frontier %v, want %v (input order %v)", trial, got, want, indexOrder(shuffled))
+		}
+	}
+}
+
+func indexOrder(rs []Result) []int {
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.Cell.Index
+	}
+	return out
 }

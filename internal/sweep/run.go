@@ -45,6 +45,11 @@ func RunCells(ctx context.Context, cells []Cell, cfg Config, run Runner[Metrics]
 			return nil, err
 		}
 		defer man.Close()
+		// Refuse to resume across the priced/unpriced fingerprint boundary
+		// before any cell runs — see ResumeMismatchError.
+		if err := man.CheckPlanned(cells); err != nil {
+			return nil, err
+		}
 	}
 	var jsonl *jsonlSink
 	if cfg.JSONL != nil {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -255,16 +256,123 @@ func TestAggregate(t *testing.T) {
 func TestMetricsValueCoversAllNames(t *testing.T) {
 	m := Metrics{Makespan: 1, Speedup: 2, BurstRatio: 3, ICUtil: 4, ECUtil: 5, TSeq: 6,
 		Jobs: 7, Chunks: 8, PeakCount: 9, TotalStall: 10, ECMachineSeconds: 11, Retries: 12, Fallbacks: 13,
-		CostRental: 14, CostCommitted: 15, CostBudget: 16}
+		CostRental: 14, CostCommitted: 15, CostBudget: 16, BudgetDenials: 17, AdmissionViolations: 18}
 	seen := make(map[float64]bool)
 	for _, name := range MetricNames() {
 		v := m.Value(name)
-		if v < 1 || v > 16 || seen[v] {
+		if v < 1 || v > 18 || seen[v] {
 			t.Fatalf("metric %q maps to %v (missing or duplicate field)", name, v)
 		}
 		seen[v] = true
 	}
-	if len(seen) != 16 {
-		t.Fatalf("MetricNames covers %d fields, want 16", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("MetricNames covers %d fields, want 18", len(seen))
+	}
+}
+
+func TestCheckPlannedResumeMismatch(t *testing.T) {
+	unpriced := "v1|sched=Op|bucket=uniform|ic=4|seed=1"
+	priced := unpriced + "|cost=od0.10,b0.25"
+	record := func(t *testing.T, fps ...string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "m")
+		man, err := OpenManifest(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fp := range fps {
+			if err := man.Append(Cell{Fingerprint: fp}, Metrics{Makespan: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		man.Close()
+		return path
+	}
+	check := func(t *testing.T, path string, planned ...string) error {
+		t.Helper()
+		man, err := OpenManifest(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer man.Close()
+		cells := make([]Cell, len(planned))
+		for i, fp := range planned {
+			cells[i] = Cell{Fingerprint: fp}
+		}
+		return man.CheckPlanned(cells)
+	}
+
+	t.Run("unpriced-manifest-priced-spec", func(t *testing.T) {
+		err := check(t, record(t, unpriced), priced)
+		var rm *ResumeMismatchError
+		if !errors.As(err, &rm) {
+			t.Fatalf("mismatch not detected: %v", err)
+		}
+		if rm.RecordedFP != unpriced || rm.PlannedFP != priced {
+			t.Fatalf("error names wrong fingerprints: %+v", rm)
+		}
+		for _, fp := range []string{unpriced, priced} {
+			if !strings.Contains(err.Error(), fp) {
+				t.Fatalf("message omits %q: %v", fp, err)
+			}
+		}
+	})
+	t.Run("priced-manifest-unpriced-spec", func(t *testing.T) {
+		err := check(t, record(t, priced), unpriced)
+		var rm *ResumeMismatchError
+		if !errors.As(err, &rm) {
+			t.Fatalf("mismatch not detected: %v", err)
+		}
+		if rm.RecordedFP != priced || rm.PlannedFP != unpriced {
+			t.Fatalf("error names wrong fingerprints: %+v", rm)
+		}
+	})
+	t.Run("matching-records-pass", func(t *testing.T) {
+		if err := check(t, record(t, priced), priced); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("mixed-cost-grid-passes", func(t *testing.T) {
+		// A Costs axis spanning free and priced sets plans both forms
+		// directly — a half-finished manifest of such a grid is legitimate.
+		if err := check(t, record(t, unpriced), unpriced, priced); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("unrelated-records-pass", func(t *testing.T) {
+		other := "v1|sched=Greedy|bucket=uniform|ic=4|seed=2"
+		if err := check(t, record(t, other), priced); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("empty-manifest-passes", func(t *testing.T) {
+		if err := check(t, record(t), priced); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRunCellsRefusesRepricedManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m")
+	cells := fpCells(2)
+	var runs atomic.Int64
+	if _, err := RunCells(context.Background(), cells, Config{ManifestPath: path}, metricsRunner(&runs)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same grid repriced: every fingerprint gains a cost suffix. The
+	// resume must refuse instead of silently re-executing everything.
+	repriced := fpCells(2)
+	for i := range repriced {
+		repriced[i].Fingerprint += "|cost=od0.10"
+	}
+	runs.Store(0)
+	_, err := RunCells(context.Background(), repriced, Config{ManifestPath: path}, metricsRunner(&runs))
+	var rm *ResumeMismatchError
+	if !errors.As(err, &rm) {
+		t.Fatalf("repriced resume not refused: %v", err)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("refused resume still executed %d cells", runs.Load())
 	}
 }

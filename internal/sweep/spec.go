@@ -388,10 +388,36 @@ type Cell struct {
 	NetSeed      int64 `json:"netSeed"`
 	FaultSeed    int64 `json:"faultSeed"`
 
+	// Axis and Value identify an off-grid probe synthesized by the frontier
+	// search: Axis names the continuous knob under search and Value the
+	// probed point on it. Grid-expanded cells leave both zero.
+	Axis  string  `json:"axis,omitempty"`
+	Value float64 `json:"value,omitempty"`
+
 	// Fingerprint canonically identifies the cell's full effective
 	// configuration; cells with equal fingerprints produce bit-identical
 	// results and are executed once. Empty means "assume unique".
 	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// SynthCell synthesizes an off-grid cell for an adaptive search probe:
+// Index -1 marks it as outside any grid expansion, Axis/Value record the
+// probed point, and the three stream seeds are derived from the replication
+// seed exactly as Cells does — a probe and a grid cell with the same seed
+// share workload, network and fault realizations. The caller stamps the
+// Fingerprint once it has built the probe's effective configuration.
+func SynthCell(scheduler, bucket, axis string, value float64, seed int64) Cell {
+	return Cell{
+		Index:        -1,
+		Scheduler:    scheduler,
+		Bucket:       bucket,
+		Seed:         seed,
+		WorkloadSeed: DeriveSeed(seed, "workload"),
+		NetSeed:      DeriveSeed(seed, "net"),
+		FaultSeed:    DeriveSeed(seed, "fault"),
+		Axis:         axis,
+		Value:        value,
+	}
 }
 
 // Cells expands the normalized grid in deterministic row-major order:
@@ -445,6 +471,19 @@ func DeriveSeed(seed int64, salt string) int64 {
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	x ^= x >> 31
 	return int64(x &^ (1 << 63))
+}
+
+// ProbeSeed derives the k-th candidate replication seed for worst-case
+// probing at a named frontier point (the hill-climb over seeds). k = 0
+// returns the base seed itself; successive k values walk deterministic,
+// point-specific seeds, so climbing the same point twice examines the same
+// candidates while different points (different salts) examine independent
+// ones.
+func ProbeSeed(base int64, point string, k int) int64 {
+	if k <= 0 {
+		return base
+	}
+	return DeriveSeed(base+int64(k), "probe:"+point)
 }
 
 // IsSpecError reports whether err unwraps to a *SpecError.

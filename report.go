@@ -58,6 +58,10 @@ type Report struct {
 	CostRental    float64
 	CostCommitted float64
 	CostBudget    float64
+	// BudgetDenials counts jobs the budget gate forced onto the internal
+	// cloud against the scheduler's preference — nonzero only when a
+	// positive budget actually bound an admission decision.
+	BudgetDenials int
 
 	// Fault-injection accounting (all zero unless Options.Faults armed a
 	// fault source). Retries counts re-admissions of disturbed jobs;
@@ -105,6 +109,7 @@ func newReport(o Options, res *engine.Result, rec *TraceRecorder) *Report {
 		CostRental:       res.CostRental,
 		CostCommitted:    res.CostCommitted,
 		CostBudget:       res.CostBudget,
+		BudgetDenials:    res.BudgetDenials,
 		opts:             o,
 		res:              res,
 		rec:              rec,

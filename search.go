@@ -1,0 +1,255 @@
+package cloudburst
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"cloudburst/internal/search"
+	"cloudburst/internal/sweep"
+)
+
+// SearchError is the typed rejection of an invalid frontier search
+// (unknown axis, empty bracket, bad predicate set). Unwrap with errors.As.
+type SearchError = search.Error
+
+// FrontierRow is one row of the frontier artifact: the located crossing
+// (or the verdict that none exists in the bracket) for one predicate,
+// with the bracketing cell pair, the crossing estimate, and the worst
+// replication seed the hill-climb found.
+type FrontierRow = search.Row
+
+// SearchSpec declares an adaptive frontier search: instead of sweeping a
+// declared grid, Search bisects one continuous axis of the configuration
+// space to localize where an SLA predicate first fails — speedup
+// collapsing below 1, the audited slack rule reporting admission
+// violations, the budget gate forcing IC fallbacks, or order-preserving
+// delivery stagnating — then hill-climbs over replication seeds toward
+// the worst case at the located frontier.
+type SearchSpec struct {
+	// Base is the configuration every probe starts from; the searched axis
+	// overrides its corresponding knob probe by probe. The zero value is
+	// the paper testbed under the Op scheduler.
+	Base Options
+
+	// Axis names the knob under search — see SearchAxes for the
+	// vocabulary.
+	Axis string
+	// Min and Max bracket the search on the axis. Both must be positive:
+	// zero is every axis knob's "use the documented default" sentinel in
+	// Options.Normalize, so a zero endpoint would not probe the value 0 —
+	// it would silently probe the default.
+	Min, Max float64
+	// Tolerance is the bracket width below which a crossing counts as
+	// localized (default (Max-Min)/64).
+	Tolerance float64
+
+	// Predicates selects preset predicates by name — see SearchPredicates
+	// for the vocabulary. Empty selects every preset.
+	Predicates []string
+
+	// Seed is the base replication seed for bisection probes (default 1).
+	Seed int64
+	// ClimbSeeds is how many candidate seeds the worst-case hill-climb
+	// tries at each located frontier (default 4; negative disables).
+	ClimbSeeds int
+	// MaxProbes bounds bisection probes per predicate (default 64).
+	MaxProbes int
+}
+
+// SearchConfig tunes search execution. The zero value runs with no
+// artifact sink and no resume manifest.
+type SearchConfig struct {
+	// JSONL, when non-nil, receives the frontier artifact as JSON lines,
+	// one FrontierRow per line in predicate order. Fresh, cached and
+	// resumed runs of the same search emit byte-identical artifacts.
+	JSONL io.Writer
+	// ManifestPath arms crash-safe resume: every completed probe is
+	// journaled there (same format as sweep manifests), and a re-run with
+	// the same path re-executes only the probes not yet on record.
+	ManifestPath string
+	// Progress, when set, observes every settled probe: probes counts all
+	// of them, cached the subset served from memory or the manifest.
+	Progress func(probes, cached int)
+}
+
+// searchAxes maps axis names to the knob they steer on a normalized base.
+// Every axis requires strictly positive probe values — zero would fall
+// into the knob's normalization default instead of probing zero.
+var searchAxes = []struct {
+	name  string
+	apply func(o *Options, v float64)
+}{
+	// Network transfer jitter (coefficient of variation).
+	{"jitter", func(o *Options, v float64) { o.JitterCV = v }},
+	// Uplink bandwidth in bytes/sec; the downlink scales along, keeping
+	// the base's down/up ratio.
+	{"bandwidth", func(o *Options, v float64) {
+		ratio := o.DownloadMeanBW / o.UploadMeanBW
+		o.UploadMeanBW = v
+		o.DownloadMeanBW = v * ratio
+	}},
+	// Mean jobs per arrival batch.
+	{"arrival-rate", func(o *Options, v float64) { o.MeanJobsPerBatch = v }},
+	// Mean time between EC-machine revocations, seconds (smaller = more
+	// hostile; arms fault injection if the base had none).
+	{"ec-revoke-mtbf", func(o *Options, v float64) {
+		if o.Faults == nil {
+			o.Faults = &FaultOptions{}
+		}
+		o.Faults.ECRevocationMTBF = v
+	}},
+	// Committed burst-spend cap in dollars (arms the pricing model at the
+	// default on-demand rate if the base had none).
+	{"budget", func(o *Options, v float64) {
+		if o.Cost == nil {
+			o.Cost = &CostOptions{OnDemandRate: 0.10}
+		}
+		o.Cost.Budget = v
+	}},
+}
+
+// SearchAxes returns the searchable axis names in canonical order.
+func SearchAxes() []string {
+	out := make([]string, len(searchAxes))
+	for i, a := range searchAxes {
+		out[i] = a.name
+	}
+	return out
+}
+
+// SearchPredicates returns the preset predicate names in canonical order.
+func SearchPredicates() []string { return search.PresetNames() }
+
+// Search runs the frontier search described by spec and returns one
+// FrontierRow per predicate. See SearchContext.
+func Search(spec SearchSpec) ([]FrontierRow, error) {
+	return SearchContext(context.Background(), spec, SearchConfig{})
+}
+
+// SearchContext is Search with cooperative cancellation and execution
+// controls (artifact sink, resume manifest, progress). Probes carry the
+// same configuration fingerprints as sweep cells, so a search resumes
+// from — and contributes to — the same crash-safe manifest machinery:
+// a killed search re-run with the same ManifestPath re-executes only the
+// probes not yet on record, and still emits the identical artifact.
+func SearchContext(ctx context.Context, spec SearchSpec, cfg SearchConfig) ([]FrontierRow, error) {
+	preds, err := search.PresetSet(spec.Predicates)
+	if err != nil {
+		return nil, err
+	}
+	apply, err := spec.applier()
+	if err != nil {
+		return nil, err
+	}
+	needAudit := search.NeedsAuditAny(preds)
+	if err := spec.Base.Validate(); err != nil {
+		return nil, err
+	}
+	// Both bracket endpoints must be runnable before any probe starts —
+	// the same typed errors Run would raise mid-search.
+	for _, v := range []float64{spec.Min, spec.Max} {
+		if err := spec.probeOptions(apply, v, 1).Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	var probes, cached int
+	scfg := search.Config{
+		Axis: search.Axis{
+			Name: spec.Axis, Min: spec.Min, Max: spec.Max, Tolerance: spec.Tolerance,
+		},
+		Predicates:   preds,
+		Seed:         spec.Seed,
+		ClimbSeeds:   spec.ClimbSeeds,
+		MaxProbes:    spec.MaxProbes,
+		ManifestPath: cfg.ManifestPath,
+		Synth: func(v float64, seed int64) (sweep.Cell, error) {
+			o := spec.probeOptions(apply, v, seed)
+			cell := sweep.SynthCell(string(o.Scheduler), string(o.Bucket), spec.Axis, v, seed)
+			cell.Fingerprint = o.Fingerprint()
+			return cell, nil
+		},
+	}
+	if cfg.Progress != nil {
+		scfg.OnProbe = func(_ sweep.Cell, _ sweep.Metrics, wasCached bool) {
+			probes++
+			if wasCached {
+				cached++
+			}
+			cfg.Progress(probes, cached)
+		}
+	}
+
+	rows, err := search.Run(ctx, scfg, func(ctx context.Context, v float64, seed int64) (sweep.Metrics, error) {
+		o := spec.probeOptions(apply, v, seed)
+		o.Audit = needAudit
+		r, err := RunContext(ctx, o)
+		if err != nil {
+			return sweep.Metrics{}, err
+		}
+		m := sweepMetrics(r)
+		if needAudit {
+			a, err := r.Audit()
+			if err != nil {
+				return sweep.Metrics{}, err
+			}
+			m.AdmissionViolations = len(a.AdmissionViolations)
+			m.Audited = true
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.JSONL != nil {
+		if err := search.WriteRows(cfg.JSONL, rows); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// applier resolves the spec's axis name and validates the bracket's
+// search-specific constraints (the core validates the rest).
+func (s SearchSpec) applier() (func(*Options, float64), error) {
+	var apply func(*Options, float64)
+	for _, a := range searchAxes {
+		if a.name == s.Axis {
+			apply = a.apply
+			break
+		}
+	}
+	if apply == nil {
+		return nil, &SearchError{Field: "axis", Reason: fmt.Sprintf("%q is not searchable (want %s)", s.Axis, strings.Join(SearchAxes(), ", "))}
+	}
+	if s.Min <= 0 {
+		return nil, &SearchError{Field: "min", Reason: fmt.Sprintf("%g must be positive: 0 is the %s knob's use-the-default sentinel, not the value 0", s.Min, s.Axis)}
+	}
+	return apply, nil
+}
+
+// probeOptions builds one probe's effective configuration: the normalized
+// base with the axis applied and the three stream seeds derived from the
+// probe's replication seed, exactly as grid cells derive theirs.
+func (s SearchSpec) probeOptions(apply func(*Options, float64), v float64, seed int64) Options {
+	o := s.Base.Normalize()
+	// The pointer-typed sub-options are cloned before the axis touches
+	// them — probes must not mutate each other through the shared base.
+	if o.Faults != nil {
+		f := *o.Faults
+		o.Faults = &f
+	}
+	if o.Cost != nil {
+		c := *o.Cost
+		o.Cost = &c
+	}
+	apply(&o, v)
+	o.WorkloadSeed = sweep.DeriveSeed(seed, "workload")
+	o.NetSeed = sweep.DeriveSeed(seed, "net")
+	if o.Faults != nil {
+		o.Faults.Seed = sweep.DeriveSeed(seed, "fault")
+	}
+	return o
+}

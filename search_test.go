@@ -1,0 +1,192 @@
+package cloudburst
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// narrowLinkOpts is the frontier-demo base: a single standard IC machine
+// behind a narrow link, where enough transfer jitter drags bursting below
+// the sequential baseline (the default testbed's link is too fat for
+// mean-preserving jitter alone to cross).
+func narrowLinkOpts() Options {
+	return Options{
+		Scheduler:      OrderPreserving,
+		ICMachines:     1,
+		UploadMeanBW:   64 * 1024,
+		DownloadMeanBW: 96 * 1024,
+	}
+}
+
+func TestSearchVocabulary(t *testing.T) {
+	axes := SearchAxes()
+	if want := []string{"jitter", "bandwidth", "arrival-rate", "ec-revoke-mtbf", "budget"}; !reflect.DeepEqual(axes, want) {
+		t.Fatalf("axes = %v, want %v", axes, want)
+	}
+	preds := SearchPredicates()
+	if want := []string{"speedup-collapse", "admission-violation", "budget-fallback", "oo-stagnation"}; !reflect.DeepEqual(preds, want) {
+		t.Fatalf("predicates = %v, want %v", preds, want)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	valid := SearchSpec{Base: narrowLinkOpts(), Axis: "jitter", Min: 0.1, Max: 1}
+	for _, tc := range []struct {
+		name  string
+		mut   func(*SearchSpec)
+		field string
+	}{
+		{"unknown-axis", func(s *SearchSpec) { s.Axis = "entropy" }, "axis"},
+		{"zero-min", func(s *SearchSpec) { s.Min = 0 }, "min"},
+		{"negative-min", func(s *SearchSpec) { s.Min = -0.5 }, "min"},
+		{"unknown-predicate", func(s *SearchSpec) { s.Predicates = []string{"bogus"} }, "predicates"},
+		{"empty-bracket", func(s *SearchSpec) { s.Min, s.Max = 1, 1 }, "axis"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := valid
+			tc.mut(&spec)
+			_, err := Search(spec)
+			var se *SearchError
+			if !errors.As(err, &se) {
+				t.Fatalf("err %T is not a *SearchError: %v", err, err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("err field = %q, want %q (%v)", se.Field, tc.field, err)
+			}
+		})
+	}
+
+	// An unrunnable base is rejected with the core's own typed error
+	// before any probe starts.
+	spec := valid
+	spec.Base.Scheduler = "nope"
+	var oe *OptionError
+	if _, err := Search(spec); !errors.As(err, &oe) {
+		t.Fatalf("invalid base not rejected with *OptionError: %v", err)
+	}
+}
+
+func TestSearchLocatesJitterFrontier(t *testing.T) {
+	spec := SearchSpec{
+		Base:       narrowLinkOpts(),
+		Axis:       "jitter",
+		Min:        0.05,
+		Max:        3,
+		Tolerance:  0.5,
+		Predicates: []string{"speedup-collapse"},
+		ClimbSeeds: 2,
+	}
+	dir := t.TempDir()
+	var out1 bytes.Buffer
+	var probes, cached int
+	rows, err := SearchContext(context.Background(), spec, SearchConfig{
+		JSONL:        &out1,
+		ManifestPath: filepath.Join(dir, "s.manifest"),
+		Progress:     func(p, c int) { probes, cached = p, c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	row := rows[0]
+	if !row.Crossed {
+		t.Fatalf("no speedup-collapse crossing on the narrow link: %+v", row)
+	}
+	if row.HiValue-row.LoValue > spec.Tolerance {
+		t.Fatalf("bracket [%g, %g] wider than tolerance %g", row.LoValue, row.HiValue, spec.Tolerance)
+	}
+	if row.LoHolds || !row.HiHolds {
+		t.Fatalf("frontier orientation wrong: low jitter must be healthy, high jitter violating (%+v)", row)
+	}
+	if row.LoMetrics.Speedup < 1 || row.HiMetrics.Speedup >= 1 {
+		t.Fatalf("speedups contradict the verdicts: lo=%g hi=%g", row.LoMetrics.Speedup, row.HiMetrics.Speedup)
+	}
+	if row.WorstSeed == 0 || row.WorstMargin <= 0 {
+		t.Fatalf("climb found no worst seed: %+v", row)
+	}
+	if cached != 0 {
+		t.Fatalf("fresh search reported %d cached probes", cached)
+	}
+
+	// Resuming the finished search executes nothing and emits the
+	// byte-identical artifact.
+	var out2 bytes.Buffer
+	rows2, err := SearchContext(context.Background(), spec, SearchConfig{
+		JSONL:        &out2,
+		ManifestPath: filepath.Join(dir, "s.manifest"),
+		Progress:     func(p, c int) { probes, cached = p, c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != probes {
+		t.Fatalf("resumed search executed %d probes", probes-cached)
+	}
+	if !reflect.DeepEqual(rows, rows2) {
+		t.Fatal("resumed rows diverge from the fresh run")
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("frontier artifact is not byte-identical across resume")
+	}
+	if !strings.Contains(out1.String(), `"predicate":"speedup-collapse"`) {
+		t.Fatalf("artifact missing predicate field: %s", out1.String())
+	}
+}
+
+func TestSearchBudgetAxisArmsPricing(t *testing.T) {
+	spec := SearchSpec{
+		Base:       fastOpts(Greedy),
+		Axis:       "budget",
+		Min:        0.0001,
+		Max:        0.05,
+		Tolerance:  0.02,
+		Predicates: []string{"budget-fallback"},
+		ClimbSeeds: -1,
+		MaxProbes:  8,
+	}
+	rows, err := Search(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	// The base had no Cost block: the axis must arm pricing, and every
+	// probe fingerprint must carry the cost segment.
+	for _, fp := range []string{row.LoCell.Fingerprint, row.HiCell.Fingerprint} {
+		if !strings.Contains(fp, "|cost=") {
+			t.Fatalf("budget probe ran unpriced: %q", fp)
+		}
+	}
+	if !row.LoHolds {
+		t.Fatalf("a near-zero budget must force IC fallbacks: %+v", row.LoMetrics)
+	}
+	if row.LoMetrics.BudgetDenials <= 0 {
+		t.Fatalf("budget-fallback holds without denials on record: %+v", row.LoMetrics)
+	}
+}
+
+func TestSearchDoesNotMutateBase(t *testing.T) {
+	spec := SearchSpec{
+		Base:       fastOpts(Greedy),
+		Axis:       "ec-revoke-mtbf",
+		Min:        500,
+		Max:        50000,
+		Tolerance:  40000,
+		Predicates: []string{"speedup-collapse"},
+		ClimbSeeds: -1,
+	}
+	spec.Base.Faults = &FaultOptions{ECRevocationMTBF: 9999, Seed: 42}
+	if _, err := Search(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Probes clone the pointer-typed sub-options before touching them.
+	if spec.Base.Faults.ECRevocationMTBF != 9999 || spec.Base.Faults.Seed != 42 {
+		t.Fatalf("search mutated the caller's fault options: %+v", spec.Base.Faults)
+	}
+}

@@ -220,6 +220,7 @@ func sweepMetrics(r *Report) SweepMetrics {
 		CostRental:       r.CostRental,
 		CostCommitted:    r.CostCommitted,
 		CostBudget:       r.CostBudget,
+		BudgetDenials:    r.BudgetDenials,
 	}
 }
 
