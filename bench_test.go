@@ -15,6 +15,7 @@ package cloudburst
 import (
 	"context"
 	"testing"
+	"time"
 
 	"cloudburst/internal/engine"
 	"cloudburst/internal/experiments"
@@ -109,6 +110,48 @@ func BenchmarkRunGreedy(b *testing.B)  { benchRun(b, Greedy, Uniform) }
 func BenchmarkRunOp(b *testing.B)      { benchRun(b, OrderPreserving, Uniform) }
 func BenchmarkRunSIBS(b *testing.B)    { benchRun(b, SIBS, Uniform) }
 func BenchmarkRunOpLarge(b *testing.B) { benchRun(b, OrderPreserving, Large) }
+
+// BenchmarkShardedPlacement measures the optimistic commit loop on the
+// acceptance-scale cell: a 2000-machine cluster, 4 shards, and enough EC
+// demand that the commit phase arbitrates real collisions. Beyond the
+// standard columns it reports placement throughput and the conflict rate,
+// so a regression in either the fan-out or the arbitration shows up in
+// BENCH.json.
+func BenchmarkShardedPlacement(b *testing.B) {
+	o := Options{
+		Scheduler:        Greedy,
+		Bucket:           Uniform,
+		Batches:          2,
+		MeanJobsPerBatch: 2600,
+		BatchIntervalSec: 30,
+		ICMachines:       4,
+		ECMachines:       1996,
+		UploadMeanBW:     512 << 20,
+		DownloadMeanBW:   512 << 20,
+		WorkloadSeed:     benchSeed,
+		NetSeed:          benchSeed,
+		Shards:           &ShardOptions{Count: 4},
+	}
+	var jobs, conflicts int
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Conflicts == 0 {
+			b.Fatal("sharded bench cell produced no conflicts")
+		}
+		jobs += r.Jobs
+		conflicts += r.Conflicts
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(jobs)/elapsed, "placements/sec")
+	}
+	b.ReportMetric(float64(conflicts)/float64(jobs), "conflicts/placement")
+}
 
 // --- Core machinery microbenches ---
 

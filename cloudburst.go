@@ -172,6 +172,14 @@ type Options struct {
 	// run's trace bit-identical to earlier releases.
 	Cost *CostOptions
 
+	// Shards, when non-nil with Count > 1, arms shared-state sharded
+	// scheduling: concurrent scheduler instances place disjoint partitions
+	// of each batch against an immutable cluster snapshot, with optimistic
+	// conflict detection and bounded re-placement at commit time (see
+	// ShardOptions). Nil or Count <= 1 keeps the monolithic path and its
+	// bit-identical traces.
+	Shards *ShardOptions
+
 	// Reporting.
 	OOToleranceJobs  int     // tolerance t_l for the OO metric (default 0)
 	OOSampleInterval float64 // seconds between OO samples (default 120)
@@ -288,6 +296,10 @@ func (o Options) Normalize() Options {
 		c := o.Cost.normalize()
 		o.Cost = &c
 	}
+	if o.Shards != nil {
+		s := o.Shards.normalize()
+		o.Shards = &s
+	}
 	return o
 }
 
@@ -364,6 +376,11 @@ func (o Options) validate() error {
 	}
 	if o.Cost != nil {
 		if err := o.Cost.validate(); err != nil {
+			return err
+		}
+	}
+	if o.Shards != nil {
+		if err := o.Shards.validate(); err != nil {
 			return err
 		}
 	}
@@ -461,6 +478,10 @@ func (o Options) engineConfig() engine.Config {
 	}
 	if o.Cost != nil {
 		cfg.Cost = o.Cost.engineConfig(o.Faults != nil && o.Faults.ECRevocationMTBF > 0)
+	}
+	if sc := o.shardConfig(); sc != nil {
+		cfg.Shards = sc
+		cfg.NewScheduler = o.schedulerFactory()
 	}
 	return cfg
 }

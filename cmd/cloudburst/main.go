@@ -46,6 +46,7 @@ func main() {
 		tol       = flag.Int("tol", 0, "out-of-order tolerance t_l (jobs)")
 		margin    = flag.Float64("margin", 0, "slack safety margin tau (seconds)")
 		resched   = flag.Bool("resched", false, "enable rescheduling strategies (Sec. IV-D)")
+		shards    = flag.String("shards", "", "sharded scheduling spec N[:partition[:retries]], e.g. 4, 8:disjoint, 4:hash:3 (empty = monolithic)")
 		compare   = flag.Bool("compare", false, "run ICOnly, Greedy, Op and SIBS on the same workload")
 		csvOut    = flag.String("csv", "", "emit a series as CSV instead of the report: oo, completions, waits")
 		autoscale = flag.Int("autoscale", 0, "autoscale the EC fleet up to N machines (0 = fixed fleet)")
@@ -133,6 +134,13 @@ func main() {
 			BillingIntervalSec: *billing,
 			Budget:             *budget,
 		}
+	}
+	if *shards != "" {
+		so, err := cloudburst.ParseShardSpec(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Shards = so
 	}
 	if *preset != "" {
 		opts = applyPreset(*preset, opts)

@@ -38,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 
 	"cloudburst"
@@ -84,6 +85,7 @@ func main() {
 		ecM        = flag.Int("ec", 0, "EC machines (0 = paper default 2)")
 		margin     = flag.Float64("margin", 0, "slack safety margin tau (seconds)")
 		resched    = flag.Bool("resched", false, "enable rescheduling strategies (Sec. IV-D)")
+		shards     = flag.String("shards", "", "comma-separated shard counts for the sharded-scheduling axis, e.g. 1,4,8 (empty = monolithic)")
 
 		searchPreds = flag.String("search", "", "run a frontier search instead of a grid sweep: comma-separated predicates ("+strings.Join(cloudburst.SearchPredicates(), ", ")+"), or 'all'")
 		axis        = flag.String("axis", "jitter", "search axis: "+strings.Join(cloudburst.SearchAxes(), ", "))
@@ -110,7 +112,7 @@ func main() {
 		seeds: *seeds, seedBase: *seedBase,
 		profiles: *profiles, faults: *faults, costs: *costs,
 		batches: *batches, jobs: *jobs, icM: *icM, ecM: *ecM,
-		margin: *margin, resched: *resched,
+		margin: *margin, resched: *resched, shards: *shards,
 	})
 	if err != nil {
 		fatal(err)
@@ -188,6 +190,7 @@ func main() {
 // specFlags carries the grid flags into buildSpec.
 type specFlags struct {
 	schedulers, buckets, profiles, faults, costs string
+	shards                                       string
 	seeds                                        int
 	seedBase                                     int64
 	batches                                      int
@@ -237,6 +240,13 @@ func buildSpec(path string, f specFlags) (*cloudburst.SweepSpec, error) {
 			return nil, fmt.Errorf("unknown cost set %q (want %s)", name, strings.Join(presetNames(costPresets), ", "))
 		}
 		spec.Costs = append(spec.Costs, cs)
+	}
+	for _, s := range splitList(f.shards) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad -shards entry %q: want integers like 1,4,8", s)
+		}
+		spec.Shards = append(spec.Shards, n)
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cloudburst/internal/job"
 	"cloudburst/internal/sim"
@@ -32,6 +33,10 @@ type Machine struct {
 	// current task races the kill deadline.
 	failed bool
 	doomed bool
+
+	// pos is the machine's index in the cluster's active slice, maintained
+	// on append and retire so the idle bitset can be updated in O(1).
+	pos int
 }
 
 // Busy reports whether the machine is executing a task.
@@ -104,6 +109,14 @@ type Cluster struct {
 	retired  []*Machine
 	queue    []*Task
 
+	// idle is a dense bitset over slice positions: bit p set ⇔
+	// machines[p].running == nil. With thousands of machines it turns the
+	// per-dispatch free-machine scan into a find-first-set over words while
+	// preserving the lowest-position-first selection order exactly.
+	// busyCount counts running tasks for O(1) Idle/RunningTasks.
+	idle      []uint64
+	busyCount int
+
 	createdAt    float64
 	completed    int
 	peakMachines int
@@ -130,10 +143,38 @@ func New(eng *sim.Engine, name string, speeds []float64) *Cluster {
 		if s <= 0 {
 			panic(fmt.Sprintf("cluster %q machine %d speed %v must be positive", name, i, s))
 		}
-		c.machines = append(c.machines, &Machine{ID: i, Speed: s, addedAt: eng.Now(), retiredAt: -1})
+		c.machines = append(c.machines, &Machine{ID: i, Speed: s, addedAt: eng.Now(), retiredAt: -1, pos: i})
+		c.markIdle(i)
 	}
 	c.peakMachines = len(c.machines)
 	return c
+}
+
+// markIdle sets bit pos, growing the bitset as the fleet does.
+func (c *Cluster) markIdle(pos int) {
+	w := pos >> 6
+	for w >= len(c.idle) {
+		c.idle = append(c.idle, 0)
+	}
+	c.idle[w] |= 1 << (uint(pos) & 63)
+}
+
+func (c *Cluster) markBusy(pos int) {
+	c.idle[pos>>6] &^= 1 << (uint(pos) & 63)
+}
+
+// rebuildIdle recomputes positions and the bitset after a retire splice.
+// Retirement is rare relative to dispatch, so the O(n) rebuild is cheap.
+func (c *Cluster) rebuildIdle() {
+	for i := range c.idle {
+		c.idle[i] = 0
+	}
+	for i, m := range c.machines {
+		m.pos = i
+		if m.running == nil {
+			c.markIdle(i)
+		}
+	}
 }
 
 // Uniform creates a cluster of n machines at the same speed.
@@ -194,12 +235,43 @@ func (c *Cluster) dispatch() {
 }
 
 func (c *Cluster) freeMachine() *Machine {
-	for _, m := range c.machines {
-		if !m.Busy() && !m.draining && !m.failed && !m.doomed {
-			return m
+	// Find-first-set over the idle bitset preserves the historical
+	// lowest-position-first order; flags are re-checked at scan time because
+	// fault injection flips failed/doomed without touching the bitset.
+	for w, word := range c.idle {
+		for word != 0 {
+			p := w<<6 + bits.TrailingZeros64(word)
+			if p >= len(c.machines) {
+				return nil
+			}
+			m := c.machines[p]
+			if !m.draining && !m.failed && !m.doomed {
+				return m
+			}
+			word &= word - 1
 		}
 	}
 	return nil
+}
+
+// IdleActiveIDs appends the IDs of machines able to start work right now
+// (idle, not draining/failed/doomed) in dispatch order to buf and returns
+// it. Shard coordinators snapshot this as the claimable slot list.
+func (c *Cluster) IdleActiveIDs(buf []int) []int {
+	for w, word := range c.idle {
+		for word != 0 {
+			p := w<<6 + bits.TrailingZeros64(word)
+			if p >= len(c.machines) {
+				return buf
+			}
+			m := c.machines[p]
+			if !m.draining && !m.failed && !m.doomed {
+				buf = append(buf, m.ID)
+			}
+			word &= word - 1
+		}
+	}
+	return buf
 }
 
 func (c *Cluster) start(m *Machine, t *Task) {
@@ -208,6 +280,8 @@ func (c *Cluster) start(m *Machine, t *Task) {
 	t.StartedAt = now
 	m.running = t
 	m.runningFrom = now
+	c.markBusy(m.pos)
+	c.busyCount++
 	if c.OnTaskStart != nil {
 		c.OnTaskStart(now, t, m)
 	}
@@ -231,6 +305,8 @@ func (c *Cluster) taskDone(now float64, arg any) {
 	t.done = true
 	m.running = nil
 	m.busyTime += now - m.runningFrom
+	c.markIdle(m.pos)
+	c.busyCount--
 	c.completed++
 	if m.draining {
 		c.retire(m)
@@ -249,30 +325,14 @@ func (c *Cluster) taskDone(now float64, arg any) {
 
 // Idle reports whether no task is running or queued.
 func (c *Cluster) Idle() bool {
-	if len(c.queue) > 0 {
-		return false
-	}
-	for _, m := range c.machines {
-		if m.Busy() {
-			return false
-		}
-	}
-	return true
+	return len(c.queue) == 0 && c.busyCount == 0
 }
 
 // QueueLength returns the number of queued (not yet running) tasks.
 func (c *Cluster) QueueLength() int { return len(c.queue) }
 
 // RunningTasks returns the number of tasks currently executing.
-func (c *Cluster) RunningTasks() int {
-	n := 0
-	for _, m := range c.machines {
-		if m.Busy() {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cluster) RunningTasks() int { return c.busyCount }
 
 // BacklogStdSeconds returns the standard-machine work queued plus the
 // remaining work of running tasks at time now.

@@ -14,8 +14,9 @@ func (c *Cluster) AddMachine(speed float64) *Machine {
 	if speed <= 0 {
 		panic(fmt.Sprintf("cluster %q: machine speed %v must be positive", c.Name, speed))
 	}
-	m := &Machine{ID: c.nextID(), Speed: speed, addedAt: c.eng.Now(), retiredAt: -1}
+	m := &Machine{ID: c.nextID(), Speed: speed, addedAt: c.eng.Now(), retiredAt: -1, pos: len(c.machines)}
 	c.machines = append(c.machines, m)
+	c.markIdle(m.pos)
 	if len(c.machines) > c.peakMachines {
 		c.peakMachines = len(c.machines)
 	}
@@ -71,6 +72,7 @@ func (c *Cluster) retire(m *Machine) {
 			c.machines = append(c.machines[:i], c.machines[i+1:]...)
 			m.retiredAt = c.eng.Now()
 			c.retired = append(c.retired, m)
+			c.rebuildIdle()
 			return
 		}
 	}

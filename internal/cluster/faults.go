@@ -61,6 +61,8 @@ func (c *Cluster) FailMachine(m *Machine, permanent bool) *Task {
 		t.machine = nil
 		m.running = nil
 		m.busyTime += now - m.runningFrom
+		c.markIdle(m.pos)
+		c.busyCount--
 	}
 	m.failed = true
 	if permanent {

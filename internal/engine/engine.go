@@ -20,6 +20,7 @@ import (
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/qrsm"
 	"cloudburst/internal/sched"
+	"cloudburst/internal/shard"
 	"cloudburst/internal/sim"
 	"cloudburst/internal/sla"
 	"cloudburst/internal/trace"
@@ -80,6 +81,17 @@ type Config struct {
 	// policies (bounded re-burst with backoff, IC fallback). Faults apply to
 	// the primary EC and its links only; remote sites are unaffected.
 	Faults *FaultConfig
+
+	// Shards, when set with Count > 1, routes every batch through the
+	// shared-state sharded placement path: Count scheduler instances place
+	// concurrently against an immutable snapshot, a deterministic commit
+	// phase detects machine-claim and budget collisions, and losers
+	// re-place against refreshed snapshots. Requires NewScheduler.
+	Shards *shard.Config
+	// NewScheduler builds one scheduler instance per shard. Stateful
+	// schedulers (SIBS carries its size-interval bounds across batches)
+	// need a private instance per shard; the factory supplies them.
+	NewScheduler func() sched.Scheduler
 
 	// Cost, when set, prices the external cloud: machine rentals are
 	// metered against the billing interval (RentalStarted/RentalEnded
@@ -262,6 +274,15 @@ type Result struct {
 	// scheduler's preference — the "budget-forced fallback" signal the
 	// frontier search bisects for.
 	BudgetDenials int
+
+	// Sharded-scheduling accounting (all zero on the monolithic path).
+	// Conflicts counts decisions that lost a commit phase (machine-claim
+	// collisions plus budget over-commits), Replacements the re-placement
+	// attempts those losses forced, and CommitRetries the extra placement
+	// rounds batches needed beyond their first.
+	Conflicts     int
+	Replacements  int
+	CommitRetries int
 }
 
 // ErrTimeout is returned when a run exceeds Config.MaxVirtualTime,
@@ -400,6 +421,14 @@ type Engine struct {
 	// the IC (the scheduler wanted to burst them, but the estimated charge
 	// would overrun the remaining budget).
 	budgetDenied int
+
+	// Sharded placement path (nil coord on the monolithic path).
+	coord         *shard.Coordinator
+	epoch         int // monotone snapshot counter across all rounds
+	conflicts     int
+	replacements  int
+	commitRetries int
+	freeECBuf     []int
 
 	// streaming marks an open-ended Serve run: jobs keep arriving for as
 	// long as the source feeds, so completed queue slots are released from

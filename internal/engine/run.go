@@ -8,6 +8,7 @@ import (
 	"cloudburst/internal/job"
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/sched"
+	"cloudburst/internal/shard"
 	"cloudburst/internal/sim"
 	"cloudburst/internal/sla"
 	"cloudburst/internal/stats"
@@ -149,6 +150,14 @@ func prepareConfig(cfg Config) (Config, error) {
 		}
 		cfg.Faults = &ff
 	}
+	if cfg.Shards != nil && cfg.Shards.Count > 1 {
+		if cfg.NewScheduler == nil {
+			return cfg, fmt.Errorf("engine: sharded scheduling requires a NewScheduler factory")
+		}
+		if cfg.MapWays > 1 {
+			return cfg, fmt.Errorf("engine: sharded scheduling does not support MapWays > 1")
+		}
+	}
 	return cfg, nil
 }
 
@@ -238,6 +247,10 @@ func (e *Engine) build() {
 
 	if cfg.Faults != nil {
 		e.buildFaults()
+	}
+
+	if cfg.Shards != nil && cfg.Shards.Count > 1 {
+		e.coord = shard.NewCoordinator(*cfg.Shards, cfg.NewScheduler)
 	}
 
 	e.meter = newMeter(cfg)
@@ -347,6 +360,10 @@ func (e *Engine) onBatch(b workload.Batch) {
 			})
 		}
 	}
+	if e.coord != nil {
+		e.onBatchSharded(b)
+		return
+	}
 	before := e.alloc.Peek()
 	st := e.state()
 	decisions := e.sched.Schedule(b.Jobs, st, e.alloc)
@@ -383,44 +400,54 @@ func (e *Engine) onBatch(b workload.Batch) {
 	}
 
 	for _, d := range decisions {
-		if d.BudgetDenied {
-			e.budgetDenied++
-		}
-		js := e.newJobState()
-		*js = jobState{j: d.Job, seq: e.seqNext, place: d.Place}
-		e.seqNext++
-		e.setState(d.Job.ID, js)
-		if e.wants(trace.Chunked) && d.Job.IsChunk() {
-			e.tracer.Emit(trace.Event{
-				Type: trace.Chunked, T: e.eng.Now(),
-				JobID: d.Job.ID, Seq: -1, Parent: d.Job.ParentID, Batch: b.Index,
-				Arrival: d.Job.ArrivalTime, StdSeconds: d.Job.TrueProcTime,
-				Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
-			})
-		}
-		if e.wants(trace.PlacementDecided) {
-			e.tracer.Emit(trace.Event{
-				Type: trace.PlacementDecided, T: e.eng.Now(),
-				JobID: d.Job.ID, Seq: js.seq, Batch: b.Index,
-				Where: d.Place.String(), Site: d.Site,
-				EstProc: d.EstProcStd, EstEC: d.EstEC,
-				Threshold: d.Threshold, Gated: d.Gated,
-				Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
-				Arrival: d.Job.ArrivalTime,
-			})
-		}
-		if d.Place == sched.PlaceEC {
-			e.commitBurst(js, d.EstProcStd, e.eng.Now())
-		}
-		switch {
-		case d.Place == sched.PlaceIC:
-			e.submitIC(js)
-		case d.Site > 0 && d.Site <= len(e.sites):
-			js.site = d.Site
-			e.submitUploadSite(js, e.sites[d.Site-1])
-		default:
-			e.submitUpload(js)
-		}
+		e.processDecision(d, b.Index, 0, 0, 0, 0)
+	}
+}
+
+// processDecision commits one placement: state registration, trace
+// emission, cost commit and pipeline submission. The monolithic path
+// passes zero shard/epoch/attempt and machine, reproducing the historical
+// event stream bit-for-bit; sharded commits stamp their provenance
+// (1-based shard, snapshot epoch, claimed machine or -1, placement round).
+func (e *Engine) processDecision(d sched.Decision, batch, shard1, epoch, machine, attempt int) {
+	if d.BudgetDenied {
+		e.budgetDenied++
+	}
+	js := e.newJobState()
+	*js = jobState{j: d.Job, seq: e.seqNext, place: d.Place}
+	e.seqNext++
+	e.setState(d.Job.ID, js)
+	if e.wants(trace.Chunked) && d.Job.IsChunk() {
+		e.tracer.Emit(trace.Event{
+			Type: trace.Chunked, T: e.eng.Now(),
+			JobID: d.Job.ID, Seq: -1, Parent: d.Job.ParentID, Batch: batch,
+			Arrival: d.Job.ArrivalTime, StdSeconds: d.Job.TrueProcTime,
+			Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
+		})
+	}
+	if e.wants(trace.PlacementDecided) {
+		e.tracer.Emit(trace.Event{
+			Type: trace.PlacementDecided, T: e.eng.Now(),
+			JobID: d.Job.ID, Seq: js.seq, Batch: batch,
+			Where: d.Place.String(), Site: d.Site,
+			EstProc: d.EstProcStd, EstEC: d.EstEC,
+			Threshold: d.Threshold, Gated: d.Gated,
+			Bytes: d.Job.InputSize, OutputBytes: d.Job.OutputSize,
+			Arrival: d.Job.ArrivalTime,
+			Shard:   shard1, Epoch: epoch, Machine: machine, Attempt: attempt,
+		})
+	}
+	if d.Place == sched.PlaceEC {
+		e.commitBurst(js, d.EstProcStd, e.eng.Now())
+	}
+	switch {
+	case d.Place == sched.PlaceIC:
+		e.submitIC(js)
+	case d.Site > 0 && d.Site <= len(e.sites):
+		js.site = d.Site
+		e.submitUploadSite(js, e.sites[d.Site-1])
+	default:
+		e.submitUpload(js)
 	}
 }
 
@@ -629,6 +656,9 @@ func (e *Engine) resultFrom(tseq float64, originalJobs int) *Result {
 		Retries:               e.retries,
 		Fallbacks:             e.fallbks,
 		BudgetDenials:         e.budgetDenied,
+		Conflicts:             e.conflicts,
+		Replacements:          e.replacements,
+		CommitRetries:         e.commitRetries,
 	}
 	if e.icFaults != nil {
 		r.ICCrashes = e.icFaults.Failures()

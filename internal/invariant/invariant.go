@@ -94,16 +94,26 @@ type Checker struct {
 	violations []Violation
 	total      int
 	finished   bool
+
+	// Sharded-scheduling state. shardClaims maps (epoch, machine) to the
+	// job that claimed the slot; lastEpoch enforces monotone snapshot
+	// epochs; conflicted remembers every commit loser so Finish can prove
+	// no job was lost on conflict re-placement.
+	shardClaims map[machineKey]int
+	lastEpoch   int
+	conflicted  map[int]bool
 }
 
 // New returns an empty checker.
 func New() *Checker {
 	return &Checker{
-		jobs:       make(map[int]*jobInfo),
-		busy:       make(map[machineKey]int),
-		seqOwner:   make(map[int]int),
-		deliveredO: make(map[int]int64),
-		rentals:    make(map[machineKey]bool),
+		jobs:        make(map[int]*jobInfo),
+		busy:        make(map[machineKey]int),
+		seqOwner:    make(map[int]int),
+		deliveredO:  make(map[int]int64),
+		rentals:     make(map[machineKey]bool),
+		shardClaims: make(map[machineKey]int),
+		conflicted:  make(map[int]bool),
 	}
 }
 
@@ -138,6 +148,7 @@ func (c *Checker) InterestMask() trace.Mask {
 		trace.TransferAborted, trace.UploadEnd, trace.DownloadEnd,
 		trace.ComputeStart, trace.ComputeEnd, trace.JobDelivered,
 		trace.RentalStarted, trace.RentalEnded, trace.CostAccrued,
+		trace.PlacementConflict, trace.PlacementRetried,
 	)
 }
 
@@ -198,12 +209,20 @@ func (c *Checker) Emit(ev trace.Event) {
 		}
 		c.seqOwner[ev.Seq] = ev.JobID
 		c.checkSlack(ev, "placement")
+		c.checkShard(ev, true)
 
 	case trace.JobRetried:
 		// A retry that re-passed the slack rule is a fresh gated admission.
 		if ev.To == "EC" {
 			c.checkSlack(ev, "re-admission")
 		}
+
+	case trace.PlacementConflict:
+		c.conflicted[ev.JobID] = true
+		c.checkShard(ev, false)
+
+	case trace.PlacementRetried:
+		c.checkShard(ev, false)
 
 	case trace.UploadStart:
 		c.job(ev.JobID).uploadsOpen++
@@ -325,6 +344,32 @@ func (c *Checker) Emit(ev trace.Event) {
 	}
 }
 
+// checkShard audits the sharded commit protocol. Epochs must never move
+// backwards — a commit stamped with an epoch below one already observed
+// means a shard committed against a stale snapshot. Within one epoch, a
+// claimed primary-EC machine slot belongs to exactly one committed
+// placement (claim is true only for PlacementDecided carrying a claim).
+func (c *Checker) checkShard(ev trace.Event, claim bool) {
+	if ev.Epoch <= 0 {
+		return
+	}
+	if ev.Epoch < c.lastEpoch {
+		c.fail("shard-epoch", ev.T, ev.JobID,
+			"%s committed against stale epoch %d after epoch %d", ev.Type, ev.Epoch, c.lastEpoch)
+	} else {
+		c.lastEpoch = ev.Epoch
+	}
+	if claim && ev.Where == "EC" && ev.Site == 0 && ev.Machine >= 0 {
+		key := machineKey{fmt.Sprintf("epoch%d", ev.Epoch), ev.Machine}
+		if other, taken := c.shardClaims[key]; taken {
+			c.fail("shard-exclusive", ev.T, ev.JobID,
+				"machine ec/%d claimed twice in epoch %d (already held by job %d)",
+				ev.Machine, ev.Epoch, other)
+		}
+		c.shardClaims[key] = ev.JobID
+	}
+}
+
 // checkSlack verifies a gated admission: burst iff the estimated round trip
 // fits the threshold.
 func (c *Checker) checkSlack(ev trace.Event, kind string) {
@@ -429,6 +474,13 @@ func (c *Checker) Finish() []Violation {
 	for key, jobID := range c.busy {
 		c.fail("machine-exclusive", c.lastT, jobID,
 			"machine %s/%d still mid-task at end of run", key.cluster, key.machine)
+	}
+	for id := range c.conflicted {
+		ji := c.jobs[id]
+		if ji == nil || (!ji.placed && !ji.isParent) {
+			c.fail("shard-conflict-resolved", c.lastT, id,
+				"job lost a placement conflict and was never re-placed")
+		}
 	}
 	return c.violations
 }

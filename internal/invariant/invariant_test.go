@@ -228,3 +228,87 @@ func TestCatchesRentalTotalFalling(t *testing.T) {
 		trace.Event{Type: trace.RentalEnded, T: 7200, JobID: -1, Cluster: "ec", Machine: 1, Amount: 0.10, Total: 0.05})
 	one(t, feed(evs...), "cost-rental")
 }
+
+// shardedTwoJobs is a clean two-job sharded stream: both jobs burst in
+// epoch 1 from different shards, claiming distinct machines, with
+// non-overlapping compute windows.
+func shardedTwoJobs() []trace.Event {
+	return []trace.Event{
+		{Type: trace.RunConfigured, T: 0, LinkBWCeiling: 1000},
+		{Type: trace.JobArrived, T: 0, JobID: 1, Seq: -1, Arrival: 0, Bytes: 500, OutputBytes: 200},
+		{Type: trace.JobArrived, T: 0, JobID: 2, Seq: -1, Arrival: 0, Bytes: 500, OutputBytes: 200},
+		{Type: trace.PlacementDecided, T: 1, JobID: 1, Seq: 0, Where: "EC",
+			Gated: true, EstEC: 5, Threshold: 10, Bytes: 500, OutputBytes: 200,
+			Shard: 1, Epoch: 1, Machine: 5},
+		{Type: trace.PlacementDecided, T: 1, JobID: 2, Seq: 1, Where: "EC",
+			Gated: true, EstEC: 5, Threshold: 10, Bytes: 500, OutputBytes: 200,
+			Shard: 2, Epoch: 1, Machine: 6},
+		{Type: trace.UploadStart, T: 1, JobID: 1, Link: "upload"},
+		{Type: trace.UploadEnd, T: 2, JobID: 1, Link: "upload", Bytes: 500, BW: 500},
+		{Type: trace.UploadStart, T: 2, JobID: 2, Link: "upload"},
+		{Type: trace.UploadEnd, T: 3, JobID: 2, Link: "upload", Bytes: 500, BW: 500},
+		{Type: trace.ComputeStart, T: 3, JobID: 1, Cluster: "ec", Machine: 5},
+		{Type: trace.ComputeEnd, T: 5, JobID: 1, Cluster: "ec", Machine: 5},
+		{Type: trace.ComputeStart, T: 5, JobID: 2, Cluster: "ec", Machine: 6},
+		{Type: trace.ComputeEnd, T: 7, JobID: 2, Cluster: "ec", Machine: 6},
+		{Type: trace.DownloadStart, T: 7, JobID: 1, Link: "download"},
+		{Type: trace.DownloadEnd, T: 8, JobID: 1, Link: "download", Bytes: 200, BW: 200},
+		{Type: trace.JobDelivered, T: 8, JobID: 1, Seq: 0, Where: "EC", OutputBytes: 200},
+		{Type: trace.DownloadStart, T: 8, JobID: 2, Link: "download"},
+		{Type: trace.DownloadEnd, T: 9, JobID: 2, Link: "download", Bytes: 200, BW: 200},
+		{Type: trace.JobDelivered, T: 9, JobID: 2, Seq: 1, Where: "EC", OutputBytes: 200},
+	}
+}
+
+func TestCleanShardedStreamPasses(t *testing.T) {
+	if vs := feed(shardedTwoJobs()...); len(vs) != 0 {
+		t.Fatalf("clean sharded stream reported violations: %v", vs)
+	}
+}
+
+func TestCatchesShardDoubleClaim(t *testing.T) {
+	evs := shardedTwoJobs()
+	// Seed the violation: shard 2's commit claims the machine shard 1
+	// already took in the same epoch.
+	evs[4].Machine = 5
+	evs[11].Machine = 5 // keep compute on the claimed machine
+	evs[12].Machine = 5 // (windows stay non-overlapping, so only the
+	// commit-protocol rule fires, not machine-exclusive)
+	one(t, feed(evs...), "shard-exclusive")
+}
+
+func TestCatchesStaleEpochCommit(t *testing.T) {
+	evs := shardedTwoJobs()
+	// Seed the violation: shard 2 commits against an older snapshot than
+	// shard 1 just did. Epochs may repeat within a round but never
+	// decrease, so a lower epoch is a stale-snapshot commit.
+	evs[3].Epoch = 2
+	evs[4].Epoch = 1
+	one(t, feed(evs...), "shard-epoch")
+}
+
+func TestCatchesLostConflictLoser(t *testing.T) {
+	// Seed the violation: a job loses a placement conflict and the stream
+	// ends without it ever being re-placed (or re-chunked).
+	evs := append(cleanJob(),
+		trace.Event{Type: trace.PlacementConflict, T: 6, JobID: 99, Seq: -1,
+			Where: "EC", Machine: 3, Shard: 2, Epoch: 1, Attempt: 1})
+	v := one(t, feed(evs...), "shard-conflict-resolved")
+	if v.JobID != 99 {
+		t.Fatalf("wrong job flagged: %v", v)
+	}
+}
+
+func TestConflictThenReplacementPasses(t *testing.T) {
+	evs := cleanJob()
+	resolved := append([]trace.Event{}, evs[:2]...)
+	resolved = append(resolved,
+		trace.Event{Type: trace.PlacementConflict, T: 0.5, JobID: 1, Seq: -1,
+			Where: "EC", Machine: 0, Shard: 1, Epoch: 1, Attempt: 1},
+		trace.Event{Type: trace.PlacementRetried, T: 0.5, JobID: 1, Seq: -1,
+			Shard: 1, Epoch: 2, Attempt: 1})
+	resolved = append(resolved, evs[2:]...)
+	if vs := feed(resolved...); len(vs) != 0 {
+		t.Fatalf("resolved conflict flagged: %v", vs)
+	}
+}

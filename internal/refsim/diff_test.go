@@ -19,6 +19,7 @@ import (
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/refsim"
 	"cloudburst/internal/sched"
+	"cloudburst/internal/shard"
 	"cloudburst/internal/workload"
 )
 
@@ -232,6 +233,41 @@ func TestEngineAgreesWithReference(t *testing.T) {
 			checkF("refMakespan", opt.Makespan, refM.Makespan)
 			checkF("refBurstRatio", opt.BurstRatio, refM.BurstRatio)
 		})
+	}
+}
+
+// TestShardedEngineConservesReference pins the sharded fan-out against the
+// reference stack on placement-invariant quantities: speculative placement
+// may move jobs between machines (so SLA metrics legitimately drift from
+// the monolithic reference), but it must never create, drop or
+// double-deliver work, and the invariant checker must stay silent over the
+// concurrent commit path.
+func TestShardedEngineConservesReference(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		chk := invariant.New()
+		cfg := engine.Config{NetSeed: 43}
+		cfg.Tracer = chk
+		cfg.Shards = &shard.Config{Count: n, Seed: 7, MaxRetries: 2}
+		cfg.NewScheduler = func() sched.Scheduler { return sched.Greedy{} }
+		opt, err := engine.Run(cfg, sched.Greedy{}, genWorkload(t))
+		if err != nil {
+			t.Fatalf("shards=%d: sharded run: %v", n, err)
+		}
+		if vs := chk.Finish(); len(vs) > 0 {
+			t.Errorf("shards=%d: invariant checker found %d violation(s); first: %s",
+				n, chk.Total(), vs[0])
+		}
+		ref, err := refsim.Run(engine.Config{NetSeed: 43}, "Greedy", genWorkload(t))
+		if err != nil {
+			t.Fatalf("reference run: %v", err)
+		}
+		if opt.Jobs != ref.Jobs {
+			t.Errorf("shards=%d: job count diverged: sharded %d, refsim %d",
+				n, opt.Jobs, ref.Jobs)
+		}
+		if opt.Makespan <= 0 {
+			t.Errorf("shards=%d: sharded run reported non-positive makespan %v", n, opt.Makespan)
+		}
 	}
 }
 

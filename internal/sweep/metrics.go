@@ -32,6 +32,11 @@ type Metrics struct {
 	// the scheduler's preference.
 	BudgetDenials int `json:"budgetDenials,omitempty"`
 
+	// Sharded-scheduling accounting (zero on the monolithic path).
+	Conflicts     int `json:"conflicts,omitempty"`
+	Replacements  int `json:"replacements,omitempty"`
+	CommitRetries int `json:"commitRetries,omitempty"`
+
 	// AdmissionViolations is the audit's count of admitted bursts whose
 	// realized round trip overran the admission threshold. It is only
 	// measured when the producing run recorded its event stream; Audited
@@ -66,6 +71,9 @@ var metricDefs = []struct {
 	{"cost_committed", func(m Metrics) float64 { return m.CostCommitted }},
 	{"cost_budget", func(m Metrics) float64 { return m.CostBudget }},
 	{"budget_denials", func(m Metrics) float64 { return float64(m.BudgetDenials) }},
+	{"conflicts", func(m Metrics) float64 { return float64(m.Conflicts) }},
+	{"replacements", func(m Metrics) float64 { return float64(m.Replacements) }},
+	{"commit_retries", func(m Metrics) float64 { return float64(m.CommitRetries) }},
 	{"admission_violations", func(m Metrics) float64 { return float64(m.AdmissionViolations) }},
 }
 

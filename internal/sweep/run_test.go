@@ -256,17 +256,18 @@ func TestAggregate(t *testing.T) {
 func TestMetricsValueCoversAllNames(t *testing.T) {
 	m := Metrics{Makespan: 1, Speedup: 2, BurstRatio: 3, ICUtil: 4, ECUtil: 5, TSeq: 6,
 		Jobs: 7, Chunks: 8, PeakCount: 9, TotalStall: 10, ECMachineSeconds: 11, Retries: 12, Fallbacks: 13,
-		CostRental: 14, CostCommitted: 15, CostBudget: 16, BudgetDenials: 17, AdmissionViolations: 18}
+		CostRental: 14, CostCommitted: 15, CostBudget: 16, BudgetDenials: 17,
+		Conflicts: 18, Replacements: 19, CommitRetries: 20, AdmissionViolations: 21}
 	seen := make(map[float64]bool)
 	for _, name := range MetricNames() {
 		v := m.Value(name)
-		if v < 1 || v > 18 || seen[v] {
+		if v < 1 || v > 21 || seen[v] {
 			t.Fatalf("metric %q maps to %v (missing or duplicate field)", name, v)
 		}
 		seen[v] = true
 	}
-	if len(seen) != 18 {
-		t.Fatalf("MetricNames covers %d fields, want 18", len(seen))
+	if len(seen) != 21 {
+		t.Fatalf("MetricNames covers %d fields, want 21", len(seen))
 	}
 }
 

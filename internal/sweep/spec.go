@@ -89,6 +89,9 @@ type Spec struct {
 	Profiles   []Profile  `json:"profiles,omitempty"`
 	Faults     []FaultSet `json:"faults,omitempty"`
 	Costs      []CostSet  `json:"costs,omitempty"`
+	// Shards lists shard counts for the shared-state scheduling axis; 1 is
+	// the monolithic path. Empty normalizes to [1].
+	Shards []int `json:"shards,omitempty"`
 	// Seeds lists the replication seeds explicitly; when empty, SeedCount
 	// seeds BaseSeed, BaseSeed+1, … are used (default one seed, base 1).
 	Seeds     []int64 `json:"seeds,omitempty"`
@@ -169,6 +172,9 @@ func (s Spec) Normalize() Spec {
 	}
 	if len(s.Costs) == 0 {
 		s.Costs = []CostSet{{Name: "free"}}
+	}
+	if len(s.Shards) == 0 {
+		s.Shards = []int{1}
 	}
 	if len(s.Seeds) == 0 {
 		if s.BaseSeed == 0 {
@@ -259,6 +265,11 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	for i, n := range s.Shards {
+		if n < 1 || n > 64 {
+			return specErr(fmt.Sprintf("shards[%d]", i), "out of [1,64]")
+		}
+	}
 	seen = map[string]bool{}
 	for i, c := range s.Costs {
 		if c.Name == "" {
@@ -275,7 +286,7 @@ func (s Spec) Validate() error {
 	n := s.Normalize()
 	cells := int64(1)
 	for _, axis := range []int{
-		len(n.Schedulers), len(n.Buckets), len(n.Profiles), len(n.Faults), len(n.Costs), len(n.Seeds),
+		len(n.Schedulers), len(n.Buckets), len(n.Profiles), len(n.Faults), len(n.Costs), len(n.Shards), len(n.Seeds),
 	} {
 		cells *= int64(axis)
 		if cells > MaxCells {
@@ -379,7 +390,10 @@ type Cell struct {
 	Profile   string `json:"profile"`
 	Fault     string `json:"fault"`
 	Cost      string `json:"cost,omitempty"`
-	Seed      int64  `json:"seed"`
+	// Shards is the cell's shard count on the shared-state scheduling
+	// axis; 0 (pre-sharding manifests) and 1 both mean monolithic.
+	Shards int   `json:"shards,omitempty"`
+	Seed   int64 `json:"seed"`
 
 	// Derived seeds, computed from Seed alone (not from the other axes), so
 	// cells sharing a replication seed run the same workload and network
@@ -421,33 +435,36 @@ func SynthCell(scheduler, bucket, axis string, value float64, seed int64) Cell {
 }
 
 // Cells expands the normalized grid in deterministic row-major order:
-// scheduler (outermost) → bucket → profile → fault set → cost set → seed
-// (innermost). Fingerprints are left empty — the caller stamps them once it
-// has built each cell's effective configuration.
+// scheduler (outermost) → bucket → profile → fault set → cost set → shard
+// count → seed (innermost). Fingerprints are left empty — the caller stamps
+// them once it has built each cell's effective configuration.
 func (s Spec) Cells() []Cell {
 	n := s.Normalize()
 	if err := n.Validate(); err != nil {
 		return nil
 	}
-	out := make([]Cell, 0, len(n.Schedulers)*len(n.Buckets)*len(n.Profiles)*len(n.Faults)*len(n.Costs)*len(n.Seeds))
+	out := make([]Cell, 0, len(n.Schedulers)*len(n.Buckets)*len(n.Profiles)*len(n.Faults)*len(n.Costs)*len(n.Shards)*len(n.Seeds))
 	for _, sched := range n.Schedulers {
 		for _, bucket := range n.Buckets {
 			for _, prof := range n.Profiles {
 				for _, fault := range n.Faults {
 					for _, costSet := range n.Costs {
-						for _, seed := range n.Seeds {
-							out = append(out, Cell{
-								Index:        len(out),
-								Scheduler:    sched,
-								Bucket:       bucket,
-								Profile:      prof.Name,
-								Fault:        fault.Name,
-								Cost:         costSet.Name,
-								Seed:         seed,
-								WorkloadSeed: DeriveSeed(seed, "workload"),
-								NetSeed:      DeriveSeed(seed, "net"),
-								FaultSeed:    DeriveSeed(seed, "fault"),
-							})
+						for _, shards := range n.Shards {
+							for _, seed := range n.Seeds {
+								out = append(out, Cell{
+									Index:        len(out),
+									Scheduler:    sched,
+									Bucket:       bucket,
+									Profile:      prof.Name,
+									Fault:        fault.Name,
+									Cost:         costSet.Name,
+									Shards:       shards,
+									Seed:         seed,
+									WorkloadSeed: DeriveSeed(seed, "workload"),
+									NetSeed:      DeriveSeed(seed, "net"),
+									FaultSeed:    DeriveSeed(seed, "fault"),
+								})
+							}
 						}
 					}
 				}

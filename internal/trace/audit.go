@@ -114,6 +114,14 @@ type Audit struct {
 	Chunks     int
 	Deliveries int
 	Bursted    int
+
+	// Sharded-run replay: commit losers (PlacementConflict) and the
+	// re-placement rounds they forced (PlacementRetried), recounted
+	// independently so engine Result counters can be cross-checked against
+	// the stream. Every conflicted job must re-resolve to a committed
+	// placement (or be re-chunked); a leftover is an Issue.
+	Conflicts    int
+	Replacements int
 }
 
 // OK reports whether the stream had no structural issues.
@@ -135,6 +143,10 @@ func (a *Audit) Summary() string {
 		}
 		s += fmt.Sprintf("  cost        rental %.4f over %d bills  committed %.4f  budget %s  open rentals %d\n",
 			a.CostRental, a.CostChecked, a.CostCommitted, budget, a.RentalsOpen)
+	}
+	if a.Conflicts > 0 || a.Replacements > 0 {
+		s += fmt.Sprintf("  shards      %d placement conflicts, %d re-placements, all resolved\n",
+			a.Conflicts, a.Replacements)
 	}
 	if len(a.Issues) == 0 {
 		return s + "  integrity  clean\n"
@@ -198,7 +210,23 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 	openRent := make(map[machineKey]Event)
 	var rentalSum, committedSum float64
 
+	// Sharded-commit replay: conflicted jobs must re-resolve, snapshot
+	// epochs must be monotone in stream order, and no epoch may hand the
+	// same primary-EC machine slot to two committed placements.
+	unresolved := make(map[int]bool)
+	lastEpoch := 0
+	type claimKey struct{ epoch, machine int }
+	claims := make(map[claimKey]int)
+
 	for _, ev := range events {
+		if ev.Epoch > 0 {
+			if ev.Epoch < lastEpoch {
+				a.issuef("%s for job %d at t=%.3f carries stale epoch %d after epoch %d",
+					ev.Type, ev.JobID, ev.T, ev.Epoch, lastEpoch)
+			} else {
+				lastEpoch = ev.Epoch
+			}
+		}
 		switch ev.Type {
 		case RunConfigured:
 			if cfg != nil {
@@ -217,11 +245,26 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 			tseq += ev.StdSeconds
 		case Chunked:
 			a.Chunks++
+			delete(unresolved, ev.Parent)
 		case PlacementDecided:
 			placements++
+			delete(unresolved, ev.JobID)
+			if ev.Epoch > 0 && ev.Where == "EC" && ev.Site == 0 && ev.Machine >= 0 {
+				k := claimKey{ev.Epoch, ev.Machine}
+				if other, taken := claims[k]; taken {
+					a.issuef("epoch %d hands EC machine %d to jobs %d and %d",
+						ev.Epoch, ev.Machine, other, ev.JobID)
+				}
+				claims[k] = ev.JobID
+			}
 			if ev.Where == "EC" {
 				admissions[ev.JobID] = ev
 			}
+		case PlacementConflict:
+			a.Conflicts++
+			unresolved[ev.JobID] = true
+		case PlacementRetried:
+			a.Replacements++
 		case Rescheduled:
 			switch ev.To {
 			case "EC":
@@ -335,6 +378,9 @@ func AuditEvents(events []Event, opt AuditOptions) (*Audit, error) {
 	}
 	for k := range openCompute {
 		a.issuef("compute interval on %s/%d never ended", k.cluster, k.machine)
+	}
+	for id := range unresolved {
+		a.issuef("job %d lost a placement conflict and was never re-placed", id)
 	}
 	a.CostRental = rentalSum
 	a.CostCommitted = committedSum

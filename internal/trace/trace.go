@@ -95,37 +95,47 @@ const (
 	// the prepaid reservation for the job's projected EC occupancy, Total
 	// the monotone committed spend the budget gate bounds.
 	CostAccrued
+	// PlacementConflict records a sharded scheduling decision losing the
+	// commit phase: another shard claimed the same machine slot (Machine set)
+	// or the EC budget was exhausted by earlier commits (Gated=true). The job
+	// re-enters the next placement round; a PlacementDecided always follows.
+	PlacementConflict
+	// PlacementRetried marks a conflict loser entering a re-placement round
+	// against a refreshed snapshot; Attempt is the 1-based retry round.
+	PlacementRetried
 
 	numEventTypes // sentinel
 )
 
 var eventTypeNames = [numEventTypes]string{
-	RunConfigured:    "RunConfigured",
-	JobArrived:       "JobArrived",
-	Chunked:          "Chunked",
-	PlacementDecided: "PlacementDecided",
-	UploadStart:      "UploadStart",
-	UploadEnd:        "UploadEnd",
-	ComputeStart:     "ComputeStart",
-	ComputeEnd:       "ComputeEnd",
-	DownloadStart:    "DownloadStart",
-	DownloadEnd:      "DownloadEnd",
-	ProbeCompleted:   "ProbeCompleted",
-	OutageStart:      "OutageStart",
-	OutageEnd:        "OutageEnd",
-	AutoscaleBoot:    "AutoscaleBoot",
-	AutoscaleDrain:   "AutoscaleDrain",
-	Rescheduled:      "Rescheduled",
-	JobDelivered:     "JobDelivered",
-	MachineFailed:    "MachineFailed",
-	MachineRestored:  "MachineRestored",
-	TransferStalled:  "TransferStalled",
-	TransferAborted:  "TransferAborted",
-	JobRetried:       "JobRetried",
-	JobFellBack:      "JobFellBack",
-	RentalStarted:    "RentalStarted",
-	RentalEnded:      "RentalEnded",
-	CostAccrued:      "CostAccrued",
+	RunConfigured:     "RunConfigured",
+	JobArrived:        "JobArrived",
+	Chunked:           "Chunked",
+	PlacementDecided:  "PlacementDecided",
+	UploadStart:       "UploadStart",
+	UploadEnd:         "UploadEnd",
+	ComputeStart:      "ComputeStart",
+	ComputeEnd:        "ComputeEnd",
+	DownloadStart:     "DownloadStart",
+	DownloadEnd:       "DownloadEnd",
+	ProbeCompleted:    "ProbeCompleted",
+	OutageStart:       "OutageStart",
+	OutageEnd:         "OutageEnd",
+	AutoscaleBoot:     "AutoscaleBoot",
+	AutoscaleDrain:    "AutoscaleDrain",
+	Rescheduled:       "Rescheduled",
+	JobDelivered:      "JobDelivered",
+	MachineFailed:     "MachineFailed",
+	MachineRestored:   "MachineRestored",
+	TransferStalled:   "TransferStalled",
+	TransferAborted:   "TransferAborted",
+	JobRetried:        "JobRetried",
+	JobFellBack:       "JobFellBack",
+	RentalStarted:     "RentalStarted",
+	RentalEnded:       "RentalEnded",
+	CostAccrued:       "CostAccrued",
+	PlacementConflict: "PlacementConflict",
+	PlacementRetried:  "PlacementRetried",
 }
 
 // String names the event type.
@@ -240,6 +250,13 @@ type Event struct {
 	Total      float64 `json:"total,omitempty"`
 	Budget     float64 `json:"budget,omitempty"`
 	BillingSec float64 `json:"billingSec,omitempty"`
+
+	// Sharded scheduling (PlacementDecided/PlacementConflict/
+	// PlacementRetried in sharded rounds). Shard is 1-based so 0 means
+	// "monolithic path" and stays out of JSONL; Epoch is the snapshot epoch
+	// the decision was committed (or rejected) against, monotone over a run.
+	Shard int `json:"shard,omitempty"`
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // Tracer receives the event stream. Implementations must not retain

@@ -73,6 +73,15 @@ type Report struct {
 	Retries        int
 	Fallbacks      int
 
+	// Sharded-scheduling accounting (all zero unless Options.Shards armed
+	// Count > 1). Conflicts counts commit-phase placement collisions —
+	// machine slots claimed twice or budget over-commits; Replacements
+	// counts jobs sent back for another round; CommitRetries counts the
+	// extra rounds themselves.
+	Conflicts     int
+	Replacements  int
+	CommitRetries int
+
 	opts Options
 	res  *engine.Result
 	rec  *TraceRecorder // non-nil when the run recorded its event stream
@@ -110,6 +119,9 @@ func newReport(o Options, res *engine.Result, rec *TraceRecorder) *Report {
 		CostCommitted:    res.CostCommitted,
 		CostBudget:       res.CostBudget,
 		BudgetDenials:    res.BudgetDenials,
+		Conflicts:        res.Conflicts,
+		Replacements:     res.Replacements,
+		CommitRetries:    res.CommitRetries,
 		opts:             o,
 		res:              res,
 		rec:              rec,
@@ -161,6 +173,10 @@ func (r *Report) String() string {
 		}
 		fmt.Fprintf(&b, "  cost       $%.4f rental, $%.4f committed of %s budget\n",
 			r.CostRental, r.CostCommitted, budget)
+	}
+	if r.opts.Shards != nil && r.opts.Shards.Count > 1 {
+		fmt.Fprintf(&b, "  shards     %d-way %s: %d conflicts, %d re-placements, %d commit retries\n",
+			r.opts.Shards.Count, r.opts.Shards.Partition, r.Conflicts, r.Replacements, r.CommitRetries)
 	}
 	return b.String()
 }

@@ -1,0 +1,54 @@
+package cloudburst
+
+// Fuzz coverage for the shard spec surface: ParseShardSpec must never
+// panic, every rejection must be a typed, cloudburst-prefixed
+// *OptionError, every accepted spec must survive its own validation, and
+// normalize must be idempotent so re-normalizing a parsed spec is a no-op.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func FuzzShardSpec(f *testing.F) {
+	// Seed corpus: every accepted shape, the documented rejections, and a
+	// few pathological strings (empty fields, whitespace, sign noise).
+	for _, s := range []string{
+		"", "1", "4", "64", "8:disjoint", "4:hash", "4:hash:3",
+		" 2 : disjoint : 1 ", "0", "65", "-1", "4:ring", "4:hash:17",
+		"4:hash:0", "4:hash:z", "4:hash:2:x", ":", "::", "4:", "4::",
+		"+3", " 9 ", "\t4\n", "4:HASH", "999999999999999999999",
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		got, err := ParseShardSpec(spec)
+		if err != nil {
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("ParseShardSpec(%q) returned untyped error %T: %v", spec, err, err)
+			}
+			if !strings.HasPrefix(err.Error(), "cloudburst: ") {
+				t.Fatalf("error not cloudburst-prefixed: %q", err)
+			}
+			if oe.Field == "" || oe.Reason == "" {
+				t.Fatalf("OptionError missing field or reason: %+v", *oe)
+			}
+			return
+		}
+		// Accepted specs come back normalized and valid.
+		if verr := got.validate(); verr != nil {
+			t.Fatalf("ParseShardSpec(%q) accepted an invalid spec %+v: %v", spec, *got, verr)
+		}
+		if n := got.normalize(); n != *got {
+			t.Fatalf("ParseShardSpec(%q) not normalized: %+v vs %+v", spec, *got, n)
+		}
+		// A parsed spec must survive the Options normalization pipeline.
+		o := Options{Shards: got}.Normalize()
+		if verr := o.Shards.validate(); verr != nil {
+			t.Fatalf("Options.Normalize broke a parsed spec %+v: %v", *o.Shards, verr)
+		}
+	})
+}

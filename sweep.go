@@ -147,6 +147,11 @@ func CellOptions(spec SweepSpec, c SweepCell) (Options, error) {
 			}
 		}
 	}
+	// Cells planned before the shard axis existed carry 0; like 1 it keeps
+	// the monolithic path.
+	if c.Shards > 1 {
+		o.Shards = &ShardOptions{Count: c.Shards}
+	}
 	return o, nil
 }
 
@@ -198,6 +203,11 @@ func (o Options) Fingerprint() string {
 		fmt.Fprintf(&b, "|cost=%g,%g,%g,%g",
 			c.OnDemandRate, c.SpotRate, c.BillingIntervalSec, c.Budget)
 	}
+	// Shards=1 is semantically the monolithic path, so only a real shard
+	// count perturbs the fingerprint — pre-sharding manifests stay valid.
+	if s := n.Shards; s != nil && s.Count > 1 {
+		fmt.Fprintf(&b, "|shards=%d,%s,%d,%d", s.Count, s.Partition, s.MaxRetries, s.Seed)
+	}
 	return b.String()
 }
 
@@ -221,6 +231,9 @@ func sweepMetrics(r *Report) SweepMetrics {
 		CostCommitted:    r.CostCommitted,
 		CostBudget:       r.CostBudget,
 		BudgetDenials:    r.BudgetDenials,
+		Conflicts:        r.Conflicts,
+		Replacements:     r.Replacements,
+		CommitRetries:    r.CommitRetries,
 	}
 }
 
